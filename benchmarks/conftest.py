@@ -1,0 +1,36 @@
+"""Shared fixtures for the experiment-regeneration benchmarks.
+
+Each benchmark module regenerates one table or figure from the paper's
+evaluation. The fixtures here build the expensive shared artefacts once
+per session: the observation dataset (the workload matrix run on the
+simulated Haswell MMU) and the m-series model cones.
+"""
+
+import pytest
+
+from repro.models import M_SERIES, build_model_cone, noisy_dataset, standard_dataset
+from repro.pipeline import CounterPoint
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    """Exact-totals observations from the full workload matrix."""
+    return standard_dataset()
+
+
+@pytest.fixture(scope="session")
+def noisy_observations():
+    """Multiplexed, phase-jittered measurements for noise studies."""
+    return noisy_dataset()
+
+
+@pytest.fixture(scope="session")
+def m_cones():
+    """Model cones for the Table 3 m-series."""
+    return {name: build_model_cone(features) for name, features in M_SERIES.items()}
+
+
+@pytest.fixture(scope="session")
+def counterpoint():
+    """Pipeline facade with the fast LP backend for sweeps."""
+    return CounterPoint(backend="scipy")

@@ -1,0 +1,57 @@
+"""Figure 10 / Appendix C.1: relationships among model cones.
+
+The paper's search graph tracks subset relationships between the
+explored models' cones, and makes a striking observation: *different
+µDDs can produce the same model cone* (a model-cone box containing more
+than one model). This benchmark verifies the lattice structure of the
+m-series:
+
+* each discovery step strictly expands the cone
+  (m0 ⊂ m1 ⊂ m2 ⊂ m3 ⊆ m4),
+* the two feasible models m4 and m8 — different feature sets — generate
+  *identical* model cones over the 26 Table 2 counters: without a
+  dedicated 1GB-walk-length counter, the PML4E cache's signature
+  contribution is exactly synthesisable from walk bypassing plus
+  prefetch references. This is why the PML4E cache remains ambiguous
+  (Figure 7) for this counter set.
+"""
+
+CHAIN = ["m0", "m1", "m2", "m3", "m4"]
+
+
+def _lattice(m_cones):
+    inclusions = []
+    for lower, upper in zip(CHAIN, CHAIN[1:]):
+        forward = m_cones[lower].is_subset_of(m_cones[upper], backend="scipy")
+        backward = m_cones[upper].is_subset_of(m_cones[lower], backend="scipy")
+        inclusions.append((lower, upper, forward, backward))
+    same_cone = (
+        m_cones["m8"].is_subset_of(m_cones["m4"], backend="scipy"),
+        m_cones["m4"].is_subset_of(m_cones["m8"], backend="scipy"),
+    )
+    return inclusions, same_cone
+
+
+def test_fig10_cone_lattice(benchmark, m_cones):
+    inclusions, same_cone = benchmark.pedantic(
+        _lattice, args=(m_cones,), rounds=1, iterations=1
+    )
+
+    print("\nFigure 10 — model-cone lattice:")
+    for lower, upper, forward, backward in inclusions:
+        relation = "==" if (forward and backward) else ("subset" if forward else "???")
+        print("  cone(%s) %s cone(%s)" % (lower, relation, upper))
+    print("  cone(m8) == cone(m4): %s" % (same_cone[0] and same_cone[1]))
+
+    # The discovery trajectory only ever *adds* µpaths.
+    for lower, upper, forward, _ in inclusions:
+        assert forward, "cone(%s) must be contained in cone(%s)" % (lower, upper)
+    # Each feature addition strictly expands the cone (until m3 -> m4;
+    # see below for why m4 adds nothing new geometrically).
+    strict = [(l, u) for l, u, f, b in inclusions if f and not b]
+    assert ("m0", "m1") in strict
+    assert ("m1", "m2") in strict
+    assert ("m2", "m3") in strict
+
+    # The paper's Figure 10 observation: distinct µDDs, one model cone.
+    assert same_cone[0] and same_cone[1], "m4 and m8 should generate the same cone"

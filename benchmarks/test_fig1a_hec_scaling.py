@@ -1,0 +1,37 @@
+"""Figure 1a: the HEC population grew >10x between 2009 and 2019.
+
+Regenerates both series of the figure — documented event names per
+microarchitecture ("Named", single core) and system-wide addressable
+events after deprecation filtering and per-core replication
+("Addressable") — from the embedded census.
+"""
+
+from repro.counters.scaling import (
+    HEC_CENSUS,
+    addressable_series,
+    growth_factor,
+    named_series,
+)
+
+
+def _series():
+    return named_series(), addressable_series()
+
+
+def test_fig1a_hec_scaling(benchmark):
+    named, addressable = benchmark(_series)
+
+    print("\nFigure 1a — estimated HEC events per microarchitecture:")
+    print("%-8s %-6s %-10s %-12s" % ("uarch", "year", "named", "addressable"))
+    for census, (year, n_named), (_, n_addr) in zip(HEC_CENSUS, named, addressable):
+        print("%-8s %-6d %-10d %-12d" % (census.name, year, n_named, n_addr))
+
+    # Paper claims: >10x growth in addressable events 2009->2019, on a
+    # log-scale axis spanning ~10^3..10^5.
+    assert growth_factor(addressable) > 10.0
+    assert named[0][1] >= 1000 and addressable[-1][1] >= 50000
+    # Named names grow far more modestly than addressable events.
+    assert growth_factor(named) < growth_factor(addressable)
+    # Every generation's addressable count exceeds its named count.
+    for (_, n_named), (_, n_addr) in zip(named, addressable):
+        assert n_addr > n_named

@@ -1,0 +1,86 @@
+"""Figure 1c: multiplexing noise grows with active HECs until a model
+constraint violation can no longer be detected at 99% confidence.
+
+Setup mirrors the paper's: a workload whose ground truth violates the
+representative constraint (Table 1's Constraint 1,
+``load.ret_stlb_miss <= load.walk_done`` — walk merging makes retired
+STLB misses outnumber completed walks), measured with an increasing set
+of active HECs multiplexed over 4 physical counters. The paper finds
+detection is lost once ~19 HECs are active; the benchmark asserts the
+same crossover behaviour (detected with few counters, lost with many).
+"""
+
+import pytest
+
+from repro.cone.violations import _region_support
+from repro.counters import MultiplexingSimulator
+from repro.geometry.halfspace import ConeConstraint, INEQUALITY
+from repro.models.dataset import RunSpec, run_observation
+from repro.stats import ConfidenceRegion
+from repro.workloads import LinearAccessWorkload
+
+ACTIVE_COUNTS = (4, 8, 12, 16, 19, 22, 26)
+
+
+@pytest.fixture(scope="module")
+def truth_run():
+    """One moderately merging workload run (ratio ~1.8x)."""
+    spec = RunSpec(
+        "fig1c",
+        LinearAccessWorkload(64 << 20, stride=2048, load_store_ratio=0.9),
+        "4k",
+        30000,
+    )
+    return run_observation(spec, interval_ops=1200, multiplexer=None)
+
+
+def _detection_curve(truth_run):
+    counters = truth_run.samples.counters
+    relevant = ["load.ret_stlb_miss", "load.walk_done"]
+    order = relevant + [name for name in counters if name not in relevant]
+    truth_rows = truth_run.samples.truth
+    rows = []
+    for n_active in ACTIVE_COUNTS:
+        active = order[:n_active]
+        indices = [counters.index(name) for name in active]
+        multiplexer = MultiplexingSimulator(
+            n_physical=4, slices_per_interval=6, phase_noise=0.8, seed=3
+        )
+        truth_subset = truth_rows[:, indices]
+        noisy = multiplexer.observe_run(truth_subset)
+        region = ConfidenceRegion.from_samples(noisy, confidence=0.99)
+        normal = [0.0] * n_active
+        normal[active.index("load.walk_done")] = 1.0
+        normal[active.index("load.ret_stlb_miss")] = -1.0
+        constraint = ConeConstraint(normal, INEQUALITY)
+        support = _region_support(region, constraint.normal, "max", backend="scipy")
+        # Multiplexing noise: deviation of the scaled estimates from the
+        # per-interval ground truth (the Figure 1c y-axis).
+        error = noisy - truth_subset
+        noise = float(error.std(axis=0, ddof=1).mean())
+        detected = support is not None and support < 0
+        rows.append((n_active, noise, float(support), detected))
+    return rows
+
+
+def test_fig1c_noise_scaling(benchmark, truth_run):
+    totals = truth_run.point()
+    ratio = totals["load.ret_stlb_miss"] / max(totals["load.walk_done"], 1)
+    assert ratio > 1.2, "ground truth must violate Constraint 1"
+
+    rows = benchmark.pedantic(_detection_curve, args=(truth_run,), rounds=1, iterations=1)
+
+    print("\nFigure 1c — violation detectability vs active HECs "
+          "(ground-truth violation ratio %.2fx):" % ratio)
+    print("%-10s %-12s %-12s %s" % ("#counters", "noise (std)", "support", "detected"))
+    for n_active, noise, support, detected in rows:
+        print("%-10d %-12.1f %-12.1f %s" % (n_active, noise, support, detected))
+
+    by_count = {n: detected for n, _, _, detected in rows}
+    # Detected with few active counters; lost once too many are active.
+    assert by_count[4] and by_count[12] and by_count[16]
+    assert not by_count[19] or not by_count[22] or not by_count[26]
+    assert not by_count[26]
+    # Noise grows with the number of active HECs (few vs many).
+    noises = {n: noise for n, noise, _, _ in rows}
+    assert noises[26] > noises[4]

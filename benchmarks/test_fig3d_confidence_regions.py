@@ -1,0 +1,54 @@
+"""Figure 3d / Figure 5c: correlated confidence regions are tighter.
+
+Builds the two-counter picture: strongly correlated samples of
+(causes_walk, pde$_miss), summarised once exploiting the correlation and
+once assuming independence. The correlated region is materially tighter
+(smaller box volume) and detects a borderline constraint violation the
+independent region misses.
+"""
+
+import math
+
+import numpy as np
+
+from repro.cone import ModelCone
+from repro.cone import test_region_feasibility as region_feasibility
+from repro.stats import ConfidenceRegion
+
+
+def _regions(rho=0.985, n=400, seed=11):
+    rng = np.random.default_rng(seed)
+    shared = rng.normal(size=n)
+    independent = rng.normal(size=n)
+    causes_walk = 100.0 + 8.0 * shared
+    # Borderline violation: the mean exceeds causes_walk by less than
+    # the independent box width but more than the correlated one.
+    pde_miss = 101.8 + 8.0 * (
+        rho * shared + math.sqrt(1.0 - rho**2) * independent
+    )
+    samples = np.stack([causes_walk, pde_miss], axis=1)
+    correlated = ConfidenceRegion.from_samples(samples, correlated=True)
+    naive = ConfidenceRegion.from_samples(samples, correlated=False)
+    return correlated, naive
+
+
+def test_fig3d_confidence_regions(benchmark):
+    correlated, naive = benchmark(_regions)
+
+    # The observed mean violates pde$_miss <= causes_walk slightly.
+    cone = ModelCone(["causes_walk", "pde$_miss"], [(1, 0), (1, 1)], name="fig3d")
+    verdict_correlated = region_feasibility(cone, correlated, backend="exact")
+    verdict_naive = region_feasibility(cone, naive, backend="exact")
+
+    print("\nFigure 3d — confidence-region construction comparison:")
+    print("  correlated box volume:  %.4f" % correlated.volume())
+    print("  independent box volume: %.4f  (%.1fx looser)" % (
+        naive.volume(), naive.volume() / correlated.volume()))
+    print("  violation detected (correlated):  %s" % (not verdict_correlated.feasible))
+    print("  violation detected (independent): %s" % (not verdict_naive.feasible))
+
+    # Correlations produce a tighter region ...
+    assert correlated.volume() < naive.volume() / 3.0
+    # ... which exposes the borderline violation the loose box hides.
+    assert not verdict_correlated.feasible
+    assert verdict_naive.feasible

@@ -1,0 +1,41 @@
+"""Figure 9a: feasibility-testing time scales ~linearly with counters.
+
+Times one observation-feasibility LP per cumulative counter-group step
+(Ret | 4 ... Refs | 26) against the final model m4. The pytest-benchmark
+table *is* the figure: one row per group step. The paper reports ~200 ms
+per observation with all counters and approximately linear scaling.
+"""
+
+import pytest
+
+from repro.cone import ModelCone
+from repro.cone import test_point_feasibility as point_feasibility
+from repro.counters import cumulative_group_counters
+from repro.models import M_SERIES
+from repro.models.haswell import build_haswell_mudd
+from repro.mudd import signature_matrix
+
+GROUP_STEPS = cumulative_group_counters()
+
+
+@pytest.fixture(scope="module")
+def m4_mudd():
+    return build_haswell_mudd(M_SERIES["m4"], name="m4")
+
+
+@pytest.fixture(scope="module")
+def full_observation(dataset):
+    return dataset[0].point()
+
+
+@pytest.mark.parametrize("step", range(len(GROUP_STEPS)), ids=[s[0] for s in GROUP_STEPS])
+def test_fig9a_feasibility_time(benchmark, m4_mudd, full_observation, step):
+    label, counters = GROUP_STEPS[step]
+    _, signatures = signature_matrix(m4_mudd, counters=counters)
+    cone = ModelCone(counters, signatures, name="m4/%s" % label)
+    observation = {name: full_observation[name] for name in counters}
+
+    result = benchmark(point_feasibility, cone, observation, backend="scipy")
+    print("\nFigure 9a [%s]: %d counters, %d signatures, feasible=%s"
+          % (label, len(counters), len(signatures), result.feasible))
+    assert result.feasible  # m4 explains every observation

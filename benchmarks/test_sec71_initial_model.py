@@ -1,0 +1,67 @@
+"""Section 7.1's initial-model statistics.
+
+"Our initial µDD contained 31 constraints, 8 of which were violated."
+and "Across all explored models, there were thousands of µpaths and
+over a thousand model constraint violations."
+
+Regenerated here: the conservative model's constraint count, how many
+of those constraints at least one observation violates, µpath counts
+across the explored model zoo, and the total violation count across all
+(model, observation, constraint) triples for the infeasible models.
+"""
+
+from fractions import Fraction
+
+from repro.models import M_SERIES, T_SERIES, build_trigger_mudd
+from repro.models.haswell import ALL_COUNTERS, build_haswell_mudd
+from repro.mudd import signature_matrix
+
+
+def _stats(dataset, m_cones):
+    m0 = m_cones["m0"]
+    constraints = m0.constraints()
+
+    vectors = [
+        [Fraction(observation.point()[name]) for name in ALL_COUNTERS]
+        for observation in dataset
+    ]
+    violated_constraints = set()
+    total_violations = 0
+    for constraint in constraints:
+        for vector in vectors:
+            if not constraint.is_satisfied_by(vector):
+                violated_constraints.add(constraint.render())
+                total_violations += 1
+
+    # µpath population across the model zoo.
+    path_counts = {}
+    for name in ("m0", "m4"):
+        mudd = build_haswell_mudd(M_SERIES[name], name=name)
+        _, signatures = signature_matrix(mudd, counters=ALL_COUNTERS)
+        path_counts[name] = len(signatures)
+    _, t6_signatures = signature_matrix(
+        build_trigger_mudd(T_SERIES["t6"]), counters=ALL_COUNTERS
+    )
+    path_counts["t6"] = len(t6_signatures)
+
+    return len(constraints), violated_constraints, total_violations, path_counts
+
+
+def test_sec71_initial_model_stats(benchmark, dataset, m_cones):
+    n_constraints, violated, total_violations, path_counts = benchmark.pedantic(
+        _stats, args=(dataset, m_cones), rounds=1, iterations=1
+    )
+
+    print("\nSection 7.1 — initial model statistics:")
+    print("  initial µDD constraints: %d (paper: 31)" % n_constraints)
+    print("  distinct constraints violated: %d (paper: 8)" % len(violated))
+    print("  (model-m0) violation instances: %d" % total_violations)
+    print("  distinct µpath signatures: m0=%d m4=%d t6=%d (paper: thousands)"
+          % (path_counts["m0"], path_counts["m4"], path_counts["t6"]))
+
+    # Same order of magnitude as the paper's 31 constraints / 8 violated.
+    assert 20 <= n_constraints <= 45
+    assert 4 <= len(violated) <= 15
+    # Thousands of µpaths across explored models.
+    assert path_counts["t6"] > 1000
+    assert sum(path_counts.values()) > 2000

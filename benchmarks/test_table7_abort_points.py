@@ -1,0 +1,39 @@
+"""Table 7: translation-request aborts cannot replace walk bypassing.
+
+Regenerates the four-model table (a0..a3): t0 derivatives with walk
+bypassing removed and aborts allowed at progressively more pipeline
+stages. The paper finds every one infeasible with the *same* violation
+count — aborted requests never complete a walk, so they cannot explain
+completed walks with missing walker references. The assertions encode
+exactly that flat, all-infeasible shape.
+"""
+
+from repro.cone import ModelCone
+from repro.models import A_SERIES, build_abort_mudd
+
+ORDER = ["a0", "a1", "a2", "a3"]
+
+
+def _sweep_all(counterpoint, dataset):
+    sweeps = {}
+    for name in ORDER:
+        cone = ModelCone.from_mudd(build_abort_mudd(A_SERIES[name], name=name))
+        sweeps[name] = counterpoint.sweep(cone, dataset)
+    return sweeps
+
+
+def test_table7_abort_points(benchmark, counterpoint, dataset):
+    sweeps = benchmark.pedantic(
+        _sweep_all, args=(counterpoint, dataset), rounds=1, iterations=1
+    )
+
+    print("\nTable 7 — abort points as an alternative to walk bypassing:")
+    print("%-5s %-55s %s" % ("model", "abort points", "#infeasible"))
+    for name in ORDER:
+        print("%-5s %-55s %d" % (name, ",".join(A_SERIES[name]), sweeps[name].n_infeasible))
+
+    counts = [sweeps[name].n_infeasible for name in ORDER]
+    # All infeasible...
+    assert all(count > 0 for count in counts)
+    # ...with identical counts: extra abort points explain nothing.
+    assert len(set(counts)) == 1

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Multiplexing noise and counter confidence regions (Sections 2, 4, 7.1).
+
+Demonstrates the paper's noise-handling story on live data:
+
+1. run workloads on the simulated MMU, sampling counters at fixed
+   wall-clock intervals (µop counts per interval vary with the
+   program's phases, so counters co-vary) through a perf-style
+   multiplexing scheduler,
+2. summarise each noisy measurement as a correlated and as an
+   independent-counter confidence region,
+3. test the conservative model m0's constraints against both: the
+   correlated regions, being tighter in the directions that matter,
+   expose more definite constraint violations (Figure 3d / the
+   Section 7.1 ">24% more violations" experiment).
+
+Run:  python examples/noise_and_confidence.py
+"""
+
+from repro.cone import identify_violations
+from repro.models import M_SERIES, build_model_cone, noisy_dataset
+from repro.stats.covariance import highly_correlated_fraction
+
+
+def definite_inequality_violations(cone, region):
+    return [
+        violation
+        for violation in identify_violations(cone, region, backend="scipy")
+        if violation.definite and not violation.constraint.is_equality
+    ]
+
+
+def main():
+    print("Collecting multiplexed, phase-jittered measurements ...")
+    observations = noisy_dataset()
+    print("  %d observations, %d interval samples each (typical)\n" % (
+        len(observations),
+        observations[0].samples.n_samples,
+    ))
+
+    print("Deducing the conservative model's constraints (m0, m7) ...")
+    models = {name: build_model_cone(M_SERIES[name]) for name in ("m0", "m7")}
+    for cone in models.values():
+        cone.constraints()
+
+    total_correlated = 0
+    total_independent = 0
+    print("\n%-22s %-6s %s" % ("observation", "corr", "indep  (definite violations)"))
+    for observation in observations:
+        region_correlated = observation.region(correlated=True)
+        region_independent = observation.region(correlated=False)
+        n_correlated = n_independent = 0
+        for cone in models.values():
+            n_correlated += len(definite_inequality_violations(cone, region_correlated))
+            n_independent += len(definite_inequality_violations(cone, region_independent))
+        total_correlated += n_correlated
+        total_independent += n_independent
+        print("%-22s %-6d %d" % (observation.name, n_correlated, n_independent))
+
+    gain = 100.0 * (total_correlated - total_independent) / max(total_independent, 1)
+    print("\nTotal definite violations: correlated=%d independent=%d (%+.0f%%)" % (
+        total_correlated,
+        total_independent,
+        gain,
+    ))
+
+    hot = 0
+    pairs = 0
+    for observation in observations:
+        samples = observation.samples.samples
+        active = [c for c in range(samples.shape[1]) if samples[:, c].std() > 0]
+        if len(active) < 2:
+            continue
+        fraction = highly_correlated_fraction(samples[:, active])
+        n = len(active)
+        pairs += n * (n - 1) // 2
+        hot += round(fraction * (n * (n - 1) // 2))
+    print("\nWhy it works: HECs are highly correlated in the time series")
+    print("  (%.0f%% of active counter pairs have |r| > 0.9 across the runs," % (100 * hot / pairs))
+    print("   driven by program phases — the paper's Section 7.1 observation).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Reverse-engineering the TLB prefetcher's trigger conditions (§C.2).
+
+Regenerates the Table 5 experiment: eighteen variants of the feasible
+model m4 attach translation prefetches to different candidate trigger
+conditions (speculative-or-not x load/store x pre-TLB / DTLB-miss /
+STLB-miss). Feasibility against the linear-access microbenchmarks
+pins down where the trigger lives: before any TLB lookup, in the
+load/store queue.
+
+Run:  python examples/prefetcher_discovery.py
+"""
+
+from repro.models import M_SERIES, T_SERIES, build_model_cone, standard_dataset
+from repro.pipeline import CounterPoint
+
+
+def describe(spec):
+    parts = []
+    parts.append("spec" if spec.speculative else "retired-only")
+    kinds = []
+    if spec.load:
+        kinds.append("load")
+    if spec.store:
+        kinds.append("store")
+    parts.append("+".join(kinds))
+    if spec.dtlb_miss:
+        parts.append("on DTLB miss")
+    elif spec.stlb_miss:
+        parts.append("on STLB miss")
+    else:
+        parts.append("pre-TLB (LSQ)")
+    return ", ".join(parts)
+
+
+def main():
+    print("Collecting observations ...")
+    observations = standard_dataset()
+    counterpoint = CounterPoint(backend="scipy")
+
+    print("\nTable 5 — prefetch trigger condition models:\n")
+    print("%-5s %-48s %s" % ("model", "trigger condition", "#infeasible"))
+    results = {}
+    for name in sorted(T_SERIES, key=lambda n: int(n[1:])):
+        spec = T_SERIES[name]
+        cone = build_model_cone(M_SERIES["m4"], trigger=spec)
+        sweep = counterpoint.sweep(cone, observations)
+        results[name] = sweep
+        marker = " " if sweep.feasible else "x"
+        print("%s%-4s %-48s %d" % (marker, name, describe(spec), sweep.n_infeasible))
+
+    print("\nInference (the paper's §C.2 reasoning):")
+    spec_ok = all(results["t%d" % i].feasible for i in range(9))
+    print("  * all speculative-trigger models feasible:", spec_ok)
+    miss_stream_refuted = all(
+        not results[name].feasible for name in ("t10", "t11", "t13", "t14")
+    )
+    print("  * retired-only miss-stream triggers refuted:", miss_stream_refuted)
+    pre_tlb_ok = results["t9"].feasible
+    print("  * retired-only pre-TLB load trigger feasible:", pre_tlb_ok)
+    if spec_ok and miss_stream_refuted and pre_tlb_ok:
+        print(
+            "\n  => The prefetcher cannot live on the TLB miss streams; it\n"
+            "     must scan virtual page numbers in the load/store queue\n"
+            "     *before* any TLB lookup — the paper's discovery."
+        )
+    refuters = sorted(
+        {name for sweep in results.values() for name in sweep.infeasible_names}
+    )
+    print("\nObservations doing the refuting:", ", ".join(refuters))
+    print(
+        "(All are linear-access microbenchmark instances — the paper's\n"
+        " ablation: remove them and the prefetcher is invisible.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

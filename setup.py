@@ -1,0 +1,18 @@
+"""Legacy setup shim for environments without PEP 517 wheel support."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "CounterPoint: testing microarchitectural models against hardware "
+        "event counter data (ASPLOS 2026 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    package_data={"repro.models": ["dsl/*.dsl"]},
+    include_package_data=True,
+    python_requires=">=3.9",
+    install_requires=["numpy", "scipy"],
+)

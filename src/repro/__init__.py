@@ -1,0 +1,41 @@
+"""CounterPoint: testing microarchitectural models against HEC data.
+
+A reproduction of *CounterPoint: Using Hardware Event Counters to Refute
+and Refine Microarchitectural Assumptions* (ASPLOS 2026). See DESIGN.md
+for the system inventory and the paper-to-module map.
+
+Quick start::
+
+    from repro import CounterPoint
+
+    MODEL = '''
+    incr load.causes_walk;
+    do LookupPde$;
+    switch Pde$Status { Hit => pass; Miss => incr load.pde$_miss };
+    done;
+    '''
+    report = CounterPoint().analyze(
+        MODEL, {"load.causes_walk": 5, "load.pde$_miss": 12}
+    )
+    print(report.summary())   # INFEASIBLE: pde$_miss <= causes_walk violated
+"""
+
+from repro.pipeline import AnalysisReport, CounterPoint, ModelSweep
+from repro.cone import ModelCone
+from repro.dsl import compile_dsl
+from repro.mudd import MuDD
+from repro.stats import ConfidenceRegion, PointRegion
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisReport",
+    "ConfidenceRegion",
+    "CounterPoint",
+    "ModelCone",
+    "ModelSweep",
+    "MuDD",
+    "PointRegion",
+    "compile_dsl",
+    "__version__",
+]

@@ -1,0 +1,15 @@
+"""Set-associative cache substrate.
+
+The Haswell ``page_walker_loads.*`` HECs classify each page-walker load
+by where in the data-cache hierarchy it hit (L1/L2/L3/memory). To emit
+those counters the MMU simulator needs an actual cache hierarchy for
+page-table-entry lines; this subpackage provides it:
+
+* :class:`SetAssociativeCache` — a single LRU set-associative cache,
+* :class:`CacheHierarchy` — an inclusive L1/L2/L3 stack whose
+  :meth:`~CacheHierarchy.access` returns the level that served the line.
+"""
+
+from repro.cache.cache import CacheHierarchy, SetAssociativeCache
+
+__all__ = ["CacheHierarchy", "SetAssociativeCache"]

@@ -1,0 +1,198 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``constraints <model.dsl>``
+    Deduce and print the model constraints a µDD implies.
+``analyze <model.dsl> (--observation k=v,... | --perf-csv file.csv)``
+    Test an observation (exact totals or a perf interval CSV summarised
+    as a confidence region) against a model; print violations and a
+    Farkas certificate for infeasible observations.
+``render <model.dsl> [-o out.dot]``
+    Export the µDD as Graphviz dot.
+``case-study [--scale S]``
+    Run the Table 3 m-series sweep on the simulated Haswell MMU.
+``errata-check --counters a,b,... [--smt]``
+    Pre-flight errata check for a measurement plan.
+"""
+
+import argparse
+import sys
+
+from repro.cone import ModelCone, identify_violations, separating_constraint
+from repro.cone import test_point_feasibility, test_region_feasibility
+from repro.counters.errata import check_measurement_plan
+from repro.dsl import compile_dsl
+from repro.errors import ReproError
+from repro.mudd.dot import to_dot
+
+
+def _load_model(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    return compile_dsl(source, name=path)
+
+
+def _parse_observation(text):
+    observation = {}
+    for item in text.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        if "=" not in item:
+            raise ReproError("observation items must be name=value, got %r" % (item,))
+        name, value = item.split("=", 1)
+        observation[name.strip()] = float(value)
+    if not observation:
+        raise ReproError("empty observation")
+    return observation
+
+
+def cmd_constraints(arguments):
+    mudd = _load_model(arguments.model)
+    cone = ModelCone.from_mudd(mudd)
+    constraints = cone.constraints()
+    print("%d µpath signatures, %d constraints:" % (cone.n_paths, len(constraints)))
+    for constraint in constraints:
+        print("  " + constraint.render())
+    return 0
+
+
+def cmd_analyze(arguments):
+    mudd = _load_model(arguments.model)
+    cone = ModelCone.from_mudd(mudd)
+    backend = arguments.backend
+
+    if arguments.perf_csv:
+        from repro.counters.perf_io import read_perf_csv
+
+        samples = read_perf_csv(arguments.perf_csv, strict=False)
+        samples = samples.subset(
+            [name for name in samples.counters if name in cone.counters]
+        )
+        missing = [name for name in cone.counters if name not in samples.counters]
+        if missing:
+            print("error: CSV lacks model counters: %s" % ", ".join(missing))
+            return 2
+        region = samples.subset(cone.counters).confidence_region(
+            confidence=arguments.confidence,
+            correlated=not arguments.independent,
+        )
+        result = test_region_feasibility(cone, region, backend=backend)
+        observation = region
+    else:
+        observation = _parse_observation(arguments.observation)
+        result = test_point_feasibility(cone, observation, backend=backend)
+
+    if result.feasible:
+        print("FEASIBLE: the observation is consistent with the model.")
+        return 0
+    print("INFEASIBLE: the observation violates the model.")
+    certificate = separating_constraint(
+        cone,
+        observation if isinstance(observation, dict) else observation.center(),
+        backend=backend,
+    )
+    if certificate is not None:
+        print("certificate (one violated constraint): %s" % certificate.render())
+    if arguments.violations:
+        print("all violated constraints:")
+        for violation in identify_violations(cone, observation, backend=backend):
+            print("  " + violation.render())
+    return 1
+
+
+def cmd_render(arguments):
+    mudd = _load_model(arguments.model)
+    text = to_dot(mudd)
+    if arguments.output:
+        with open(arguments.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print("wrote %s" % arguments.output)
+    else:
+        print(text, end="")
+    return 0
+
+
+def cmd_case_study(arguments):
+    from repro.models import M_SERIES, build_model_cone, standard_dataset
+    from repro.pipeline import CounterPoint
+
+    observations = standard_dataset(scale=arguments.scale)
+    counterpoint = CounterPoint(backend="scipy")
+    print("%d observations" % len(observations))
+    print("%-5s %-46s %s" % ("model", "features", "#infeasible"))
+    for name in sorted(M_SERIES, key=lambda n: int(n[1:])):
+        sweep = counterpoint.sweep(build_model_cone(M_SERIES[name]), observations)
+        star = "*" if sweep.feasible else " "
+        print("%s%-4s %-46s %d" % (
+            star, name, ",".join(sorted(M_SERIES[name])) or "(none)", sweep.n_infeasible,
+        ))
+    return 0
+
+
+def cmd_errata_check(arguments):
+    counters = [name.strip() for name in arguments.counters.split(",") if name.strip()]
+    findings = check_measurement_plan(counters, smt_enabled=arguments.smt)
+    if not findings:
+        print("OK: measurement plan is errata-clean.")
+        return 0
+    for name, erratum in findings:
+        print("WARNING: %s is affected by %s: %s" % (
+            name, erratum.erratum_id, erratum.description,
+        ))
+    return 1
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro", description="CounterPoint: test µDD models against HEC data"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    constraints = commands.add_parser("constraints", help="deduce model constraints")
+    constraints.add_argument("model", help="DSL model file")
+    constraints.set_defaults(handler=cmd_constraints)
+
+    analyze = commands.add_parser("analyze", help="test an observation against a model")
+    analyze.add_argument("model", help="DSL model file")
+    source = analyze.add_mutually_exclusive_group(required=True)
+    source.add_argument("--observation", help="comma-separated name=value totals")
+    source.add_argument("--perf-csv", help="perf stat -I -x, interval CSV file")
+    analyze.add_argument("--backend", default="exact", choices=("exact", "scipy"))
+    analyze.add_argument("--confidence", type=float, default=0.99)
+    analyze.add_argument("--independent", action="store_true",
+                         help="use the independent-counter baseline region")
+    analyze.add_argument("--violations", action="store_true",
+                         help="run full constraint deduction and list all violations")
+    analyze.set_defaults(handler=cmd_analyze)
+
+    render = commands.add_parser("render", help="export a µDD as Graphviz dot")
+    render.add_argument("model", help="DSL model file")
+    render.add_argument("-o", "--output", help="output .dot path (stdout if omitted)")
+    render.set_defaults(handler=cmd_render)
+
+    case_study = commands.add_parser("case-study", help="run the Table 3 sweep")
+    case_study.add_argument("--scale", type=float, default=1.0)
+    case_study.set_defaults(handler=cmd_case_study)
+
+    errata = commands.add_parser("errata-check", help="check a measurement plan")
+    errata.add_argument("--counters", required=True,
+                        help="comma-separated counter names (paper-style)")
+    errata.add_argument("--smt", action="store_true", help="SMT enabled")
+    errata.set_defaults(handler=cmd_errata_check)
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    try:
+        return arguments.handler(arguments)
+    except ReproError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

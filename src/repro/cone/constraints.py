@@ -1,0 +1,189 @@
+"""Model-constraint deduction (Section 6 of the paper).
+
+The pipeline mirrors the paper's four steps exactly:
+
+1. **Normalise** each µpath counter signature by its GCD and remove
+   duplicates (handled by :class:`repro.geometry.Cone` construction).
+2. **Gaussian elimination** identifies equality constraints — the
+   orthogonal complement of the signatures' span (e.g.
+   ``load.stlb_hit == load.stlb_hit_4k + load.stlb_hit_2m``).
+3. **Interior-signature removal**: signatures expressible as non-negative
+   combinations of the others are dropped via LP membership tests.
+4. **Conic hull**: facet inequalities are computed exactly — for us, as
+   extreme rays of the dual cone via the double description method
+   (equivalent to the paper's convex hull of ``{0} ∪ signatures``).
+
+Everything runs over exact rational arithmetic; deduction time grows
+exponentially with counter count (the paper's Figure 9b), which is why
+feasibility testing never calls this code.
+"""
+
+from repro.errors import AnalysisError
+from repro.geometry import Cone, EQUALITY, INEQUALITY
+
+
+class ModelConstraint:
+    """A deduced model constraint with counter-name rendering.
+
+    Wraps a :class:`repro.geometry.ConeConstraint` (exact integer
+    normal) together with the counter ordering, so it can print in the
+    paper's ``lhs <= rhs`` style and report which HECs it involves.
+    """
+
+    __slots__ = ("cone_constraint", "counters")
+
+    def __init__(self, cone_constraint, counters):
+        if len(counters) != len(cone_constraint.normal):
+            raise AnalysisError(
+                "constraint over %d axes given %d counter names"
+                % (len(cone_constraint.normal), len(counters))
+            )
+        self.cone_constraint = cone_constraint
+        self.counters = list(counters)
+
+    @property
+    def normal(self):
+        return self.cone_constraint.normal
+
+    @property
+    def kind(self):
+        return self.cone_constraint.kind
+
+    @property
+    def is_equality(self):
+        return self.cone_constraint.kind == EQUALITY
+
+    @property
+    def involved_counters(self):
+        """Counter names with nonzero coefficient — the HECs an expert
+        should inspect when this constraint is violated."""
+        return [
+            name
+            for name, coeff in zip(self.counters, self.cone_constraint.normal)
+            if coeff != 0
+        ]
+
+    def evaluate(self, vector):
+        return self.cone_constraint.evaluate(vector)
+
+    def is_satisfied_by(self, vector, slack=0):
+        return self.cone_constraint.is_satisfied_by(vector, slack=slack)
+
+    def violation(self, vector):
+        return self.cone_constraint.violation(vector)
+
+    def render(self):
+        return self.cone_constraint.render(self.counters)
+
+    def __eq__(self, other):
+        if not isinstance(other, ModelConstraint):
+            return NotImplemented
+        return (
+            self.cone_constraint == other.cone_constraint
+            and self.counters == other.counters
+        )
+
+    def __hash__(self):
+        return hash((self.cone_constraint, tuple(self.counters)))
+
+    def __repr__(self):
+        return "ModelConstraint(%s)" % (self.render(),)
+
+
+class ConstraintSet:
+    """The complete H-representation of a model cone."""
+
+    def __init__(self, constraints, counters):
+        self.constraints = list(constraints)
+        self.counters = list(counters)
+
+    @property
+    def equalities(self):
+        return [c for c in self.constraints if c.is_equality]
+
+    @property
+    def inequalities(self):
+        return [c for c in self.constraints if not c.is_equality]
+
+    def satisfied_by(self, vector):
+        """True iff every constraint holds for ``vector``."""
+        return all(c.is_satisfied_by(vector) for c in self.constraints)
+
+    def violated_by(self, vector):
+        """Constraints that ``vector`` fails."""
+        return [c for c in self.constraints if not c.is_satisfied_by(vector)]
+
+    def render(self):
+        return [c.render() for c in self.constraints]
+
+    def __len__(self):
+        return len(self.constraints)
+
+    def __iter__(self):
+        return iter(self.constraints)
+
+    def __getitem__(self, index):
+        return self.constraints[index]
+
+    def __repr__(self):
+        return "ConstraintSet(%d equalities, %d inequalities)" % (
+            len(self.equalities),
+            len(self.inequalities),
+        )
+
+
+def deduce_constraints(signatures, counters, remove_interior=True, lp_backend="scipy"):
+    """Run the Section 6 deduction pipeline.
+
+    Parameters
+    ----------
+    signatures:
+        µpath counter signatures (non-negative integer vectors).
+    counters:
+        Counter names, one per signature component.
+    remove_interior:
+        Apply the LP-based interior-signature removal step before facet
+        enumeration (step 3). Disabling it changes performance only; the
+        resulting constraint set is identical.
+    lp_backend:
+        Backend for the interior-removal LPs. The default float backend
+        is fast; exactness is restored afterwards by verifying every
+        original signature against the deduced facets (exact rational
+        dot products) and recomputing with any wrongly-pruned signature
+        restored. The facet enumeration itself is always exact.
+
+    Returns
+    -------
+    :class:`ConstraintSet` with equalities first, then facet
+    inequalities.
+    """
+    full_cone = Cone(signatures, ambient_dim=len(counters))
+    if remove_interior:
+        kept = full_cone.irredundant_generators(backend=lp_backend)
+        facets = _facets_with_verification(full_cone, kept, len(counters))
+    else:
+        facets = full_cone.facet_constraints()
+    ordered = [f for f in facets if f.kind == EQUALITY] + [
+        f for f in facets if f.kind == INEQUALITY
+    ]
+    return ConstraintSet(
+        [ModelConstraint(f, counters) for f in ordered],
+        counters,
+    )
+
+
+def _facets_with_verification(full_cone, kept, ambient_dim):
+    """Facets of ``cone(kept)``, exact-verified against every original
+    generator; wrongly pruned generators are restored and the hull is
+    recomputed until the H-representation covers all of them."""
+    kept = list(kept)
+    while True:
+        facets = Cone(kept, ambient_dim=ambient_dim).facet_constraints()
+        offenders = [
+            generator
+            for generator in full_cone.generators
+            if not all(facet.is_satisfied_by(generator) for facet in facets)
+        ]
+        if not offenders:
+            return facets
+        kept.extend(offenders)

@@ -1,0 +1,130 @@
+"""Feasibility testing of observations against a model cone.
+
+Implements the linear program of Appendix A. The LP instantiates:
+
+* a non-negative flow variable per µpath signature,
+* a non-negative counter variable per HEC, related to flows by the
+  Counter Flow Equation (equality rows), and
+* for noisy observations, the counter confidence region encoded as its
+  PCA-aligned bounding box: ``|e_i . (v - mean)| <= sqrt(lambda_i *
+  chi2)`` for each principal direction ``e_i``.
+
+A point observation is the degenerate case where the box has zero
+half-lengths in every direction.
+
+Feasibility answers come from the exact rational simplex by default, so
+"infeasible" verdicts are exact consequences of the inputs.
+"""
+
+from fractions import Fraction
+
+from repro.errors import AnalysisError
+from repro.lp import EQ, GE, LE, LinearProgram, Status, solve
+from repro.linalg import as_fraction_vector
+
+
+class FeasibilityResult:
+    """Outcome of a feasibility test.
+
+    Attributes
+    ----------
+    feasible:
+        Whether the observation/region intersects the model cone.
+    flows:
+        When feasible, one witness assignment of µop flow per µpath
+        signature (list aligned with the model cone's signatures).
+    witness:
+        When feasible, the counter vector inside both the region and the
+        cone.
+    """
+
+    __slots__ = ("feasible", "flows", "witness")
+
+    def __init__(self, feasible, flows=None, witness=None):
+        self.feasible = feasible
+        self.flows = flows
+        self.witness = witness
+
+    def __bool__(self):
+        return self.feasible
+
+    def __repr__(self):
+        return "FeasibilityResult(feasible=%r)" % (self.feasible,)
+
+
+def _flow_lp(model_cone):
+    """LP skeleton with flow variables and counter variables linked by
+    the Counter Flow Equation."""
+    lp = LinearProgram()
+    flow_names = []
+    for index in range(len(model_cone.signatures)):
+        name = "flow_%d" % index
+        lp.add_variable(name)
+        flow_names.append(name)
+    counter_names = []
+    for index in range(len(model_cone.counters)):
+        name = "v_%d" % index
+        lp.add_variable(name)  # counters are non-negative (Appendix A)
+        counter_names.append(name)
+    for coord, v_name in enumerate(counter_names):
+        coefficients = {v_name: Fraction(-1)}
+        for index, signature in enumerate(model_cone.signatures):
+            if signature[coord] != 0:
+                coefficients[flow_names[index]] = Fraction(signature[coord])
+        lp.add_constraint(coefficients, EQ, 0, name="flow_eq_%d" % coord)
+    return lp, flow_names, counter_names
+
+
+def test_point_feasibility(model_cone, observation, backend="exact"):
+    """Is a noise-free observation inside the model cone?
+
+    ``observation`` is a counter-name mapping or an ordered sequence.
+    """
+    vector = model_cone.vector_from_observation(observation)
+    lp, flow_names, counter_names = _flow_lp(model_cone)
+    for coord, v_name in enumerate(counter_names):
+        lp.add_constraint({v_name: 1}, EQ, vector[coord])
+    result = solve(lp, backend=backend)
+    if result.status != Status.OPTIMAL:
+        return FeasibilityResult(False)
+    flows = [result.assignment[name] for name in flow_names]
+    witness = [result.assignment[name] for name in counter_names]
+    return FeasibilityResult(True, flows=flows, witness=witness)
+
+
+def test_region_feasibility(model_cone, region, backend="exact"):
+    """Does a counter confidence region intersect the model cone?
+
+    ``region`` must provide ``box_constraints()`` yielding
+    ``(direction, lower, upper)`` triples: for each principal direction
+    ``e`` of the confidence ellipsoid, ``lower <= e . v <= upper`` (see
+    :class:`repro.stats.ConfidenceRegion`). The region's dimension must
+    match the model cone's counter count.
+    """
+    boxes = list(region.box_constraints())
+    if not boxes:
+        raise AnalysisError("region provided no box constraints")
+    lp, flow_names, counter_names = _flow_lp(model_cone)
+    n = len(model_cone.counters)
+    for direction, lower, upper in boxes:
+        direction = as_fraction_vector(direction)
+        if len(direction) != n:
+            raise AnalysisError(
+                "region direction has %d components for %d counters"
+                % (len(direction), n)
+            )
+        coefficients = {
+            counter_names[coord]: direction[coord]
+            for coord in range(n)
+            if direction[coord] != 0
+        }
+        if not coefficients:
+            continue
+        lp.add_constraint(coefficients, GE, Fraction(lower))
+        lp.add_constraint(coefficients, LE, Fraction(upper))
+    result = solve(lp, backend=backend)
+    if result.status != Status.OPTIMAL:
+        return FeasibilityResult(False)
+    flows = [result.assignment[name] for name in flow_names]
+    witness = [result.assignment[name] for name in counter_names]
+    return FeasibilityResult(True, flows=flows, witness=witness)

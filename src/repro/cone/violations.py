@@ -1,0 +1,135 @@
+"""Identification of violated model constraints.
+
+When an observation is infeasible, CounterPoint reports *which* model
+constraints it breaks — the feedback an expert uses to refine the µDD
+(Section 5). For point observations this is direct evaluation; for
+counter confidence regions a constraint is **definitely** violated when
+the entire region lies strictly on the infeasible side (computed as the
+region's support value in the constraint-normal direction via a small
+LP), and violated **at the mean** when the region's centre fails it.
+"""
+
+from fractions import Fraction
+
+from repro.errors import AnalysisError
+from repro.lp import GE, LE, MAXIMIZE, LinearProgram, Status, solve
+from repro.linalg import as_fraction_vector
+from repro.geometry.halfspace import EQUALITY
+
+
+class Violation:
+    """A violated model constraint with diagnostic detail.
+
+    Attributes
+    ----------
+    constraint:
+        The :class:`repro.cone.ModelConstraint` that failed.
+    margin:
+        For points: the (negative) constraint value at the observation.
+        For regions: the region's maximum achievable constraint value —
+        below zero means no point of the region satisfies the
+        constraint.
+    definite:
+        True when the entire confidence region violates the constraint
+        (always True for point observations).
+    """
+
+    __slots__ = ("constraint", "margin", "definite")
+
+    def __init__(self, constraint, margin, definite):
+        self.constraint = constraint
+        self.margin = margin
+        self.definite = definite
+
+    def render(self):
+        tag = "definite" if self.definite else "at-mean"
+        return "[%s] %s (margin %s)" % (tag, self.constraint.render(), self.margin)
+
+    def __repr__(self):
+        return "Violation(%s)" % (self.render(),)
+
+
+def _region_support(region, normal, sense, backend="exact"):
+    """Max (sense=max) or min of ``normal . v`` over the region box with
+    ``v >= 0`` (Appendix A treats counters as non-negative).
+
+    Returns ``None`` when the LP is unbounded (degenerate region) or the
+    region itself is empty.
+    """
+    boxes = list(region.box_constraints())
+    if not boxes:
+        raise AnalysisError("region provided no box constraints")
+    n = len(normal)
+    lp = LinearProgram()
+    names = ["v_%d" % i for i in range(n)]
+    for name in names:
+        lp.add_variable(name)
+    for direction, lower, upper in boxes:
+        direction = as_fraction_vector(direction)
+        coefficients = {
+            names[i]: direction[i] for i in range(n) if direction[i] != 0
+        }
+        if not coefficients:
+            continue
+        lp.add_constraint(coefficients, GE, Fraction(lower))
+        lp.add_constraint(coefficients, LE, Fraction(upper))
+    objective = {names[i]: Fraction(normal[i]) for i in range(n) if normal[i] != 0}
+    lp.set_objective(objective, MAXIMIZE if sense == "max" else "min")
+    result = solve(lp, backend=backend)
+    if result.status != Status.OPTIMAL:
+        return None
+    return result.objective
+
+
+def identify_violations(model_cone, observation, backend="exact"):
+    """List the model constraints violated by ``observation``.
+
+    ``observation`` is either a point (mapping/sequence of counter
+    values) or a confidence region (an object with ``box_constraints()``
+    and ``center()``). Returns a list of :class:`Violation`, definite
+    violations first.
+    """
+    constraints = model_cone.constraints()
+    if hasattr(observation, "box_constraints"):
+        return _region_violations(model_cone, constraints, observation, backend)
+    vector = model_cone.vector_from_observation(observation)
+    violations = []
+    for constraint in constraints:
+        if not constraint.is_satisfied_by(vector):
+            margin = constraint.evaluate(vector)
+            if constraint.kind == EQUALITY:
+                margin = -abs(margin)
+            violations.append(Violation(constraint, margin, definite=True))
+    return violations
+
+
+def _region_violations(model_cone, constraints, region, backend):
+    center = as_fraction_vector(region.center())
+    if len(center) != len(model_cone.counters):
+        raise AnalysisError(
+            "region center has %d components for %d counters"
+            % (len(center), len(model_cone.counters))
+        )
+    violations = []
+    for constraint in constraints:
+        at_mean = not constraint.is_satisfied_by(center)
+        if not at_mean:
+            # A constraint satisfied at the mean may still be definitely
+            # violated only if the whole region is infeasible for it —
+            # impossible when the centre satisfies it. Skip early.
+            continue
+        upper = _region_support(region, constraint.normal, "max", backend=backend)
+        if constraint.kind == EQUALITY:
+            lower = _region_support(region, constraint.normal, "min", backend=backend)
+            definite = (
+                upper is not None
+                and lower is not None
+                and (upper < 0 or lower > 0)
+            )
+            margin = upper if upper is not None else constraint.evaluate(center)
+        else:
+            definite = upper is not None and upper < 0
+            margin = upper if upper is not None else constraint.evaluate(center)
+        violations.append(Violation(constraint, margin, definite=definite))
+    violations.sort(key=lambda v: (not v.definite, str(v.constraint.render())))
+    return violations

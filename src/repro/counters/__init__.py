@@ -1,0 +1,45 @@
+"""Hardware event counter (HEC) infrastructure.
+
+This subpackage is the measurement substrate standing in for ``perf`` on
+a real Haswell machine:
+
+* :mod:`repro.counters.events` — the paper's Table 2 event database: the
+  26 Haswell MMU HECs, their perf event names and their group
+  classification (Walk / Refs / Ret / STLB),
+* :mod:`repro.counters.multiplexing` — a time-multiplexing simulator:
+  logical counters rotate over a handful of physical counters, partial
+  counts are scaled up, and the resulting estimates carry noise that
+  grows with the number of active HECs (Figure 1c) and is *correlated*
+  across counters sharing time slices (the effect CounterPoint's
+  confidence regions exploit),
+* :mod:`repro.counters.sampling` — perf-like interval sampling glue
+  producing ``M x N`` sample matrices from any per-interval count
+  source,
+* :mod:`repro.counters.scaling` — the HEC-population database behind
+  Figure 1a (named vs addressable events per microarchitecture).
+"""
+
+from repro.counters.events import (
+    EventDefinition,
+    GROUPS,
+    GROUP_ORDER,
+    HASWELL_MMU_EVENTS,
+    counters_in_groups,
+    cumulative_group_counters,
+    event_by_name,
+)
+from repro.counters.multiplexing import MultiplexingSimulator
+from repro.counters.sampling import SampleMatrix, collect_interval_samples
+
+__all__ = [
+    "EventDefinition",
+    "GROUPS",
+    "GROUP_ORDER",
+    "HASWELL_MMU_EVENTS",
+    "MultiplexingSimulator",
+    "SampleMatrix",
+    "collect_interval_samples",
+    "counters_in_groups",
+    "cumulative_group_counters",
+    "event_by_name",
+]

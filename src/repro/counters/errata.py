@@ -1,0 +1,102 @@
+"""HEC errata handling (the paper's footnote 9).
+
+The paper: "We ensured that all of our HEC measurements were unaffected
+by any published HEC errata. For errata that are triggered when SMT is
+enabled (e.g., HSD29/HSM30 affecting mem_uops_retired), we addressed
+this by disabling SMT in the BIOS."
+
+This module carries the erratum database and a pre-measurement check:
+given a machine configuration and the counters about to be collected,
+it reports which measurements would be corrupted. The simulator honours
+the same errata (``MMUConfig(smt_enabled=True)`` overcounts the affected
+events), so the full loop — corrupted data → impossible observation →
+errata lookup — is reproducible.
+"""
+
+from repro.counters.events import HASWELL_MMU_EVENTS, event_by_name
+from repro.errors import ConfigurationError
+
+TRIGGER_SMT = "smt"
+
+
+class Erratum:
+    """One published counter erratum."""
+
+    __slots__ = ("erratum_id", "description", "event_prefix", "trigger")
+
+    def __init__(self, erratum_id, description, event_prefix, trigger):
+        self.erratum_id = erratum_id
+        self.description = description
+        self.event_prefix = event_prefix
+        self.trigger = trigger
+
+    def affects(self, full_event_name):
+        return full_event_name.startswith(self.event_prefix)
+
+    def __repr__(self):
+        return "Erratum(%s)" % (self.erratum_id,)
+
+
+HASWELL_ERRATA = (
+    Erratum(
+        "HSD29",
+        "MEM_UOPS_RETIRED events may overcount when Intel Hyper-Threading "
+        "is enabled (Haswell desktop/server specification update).",
+        "mem_uops_retired",
+        TRIGGER_SMT,
+    ),
+    Erratum(
+        "HSM30",
+        "MEM_UOPS_RETIRED events may overcount when Intel Hyper-Threading "
+        "is enabled (Haswell mobile specification update).",
+        "mem_uops_retired",
+        TRIGGER_SMT,
+    ),
+)
+
+
+def errata_for_event(name, smt_enabled):
+    """Errata affecting the (short-named) counter under a configuration."""
+    event = event_by_name(name)
+    active = []
+    for erratum in HASWELL_ERRATA:
+        if erratum.trigger == TRIGGER_SMT and not smt_enabled:
+            continue
+        if erratum.affects(event.full_name):
+            active.append(erratum)
+    return active
+
+
+def check_measurement_plan(counters, smt_enabled):
+    """Pre-flight check: which requested counters are unreliable?
+
+    Returns a list of ``(counter_name, erratum)`` pairs. An empty list
+    means the measurement plan is errata-clean (the paper's setup).
+    """
+    findings = []
+    for name in counters:
+        for erratum in errata_for_event(name, smt_enabled):
+            findings.append((name, erratum))
+    return findings
+
+
+def affected_counters(smt_enabled=True):
+    """All Table 2 counters any active erratum corrupts."""
+    names = []
+    for event in HASWELL_MMU_EVENTS:
+        if errata_for_event(event.name, smt_enabled):
+            names.append(event.name)
+    return names
+
+
+def assert_errata_clean(counters, smt_enabled):
+    """Raise :class:`ConfigurationError` when the plan hits an erratum."""
+    findings = check_measurement_plan(counters, smt_enabled)
+    if findings:
+        details = "; ".join(
+            "%s hit by %s" % (name, erratum.erratum_id) for name, erratum in findings
+        )
+        raise ConfigurationError(
+            "measurement plan is affected by counter errata (%s) — "
+            "disable SMT as the paper does" % details
+        )

@@ -1,0 +1,120 @@
+"""Reading and writing ``perf stat`` interval CSV.
+
+CounterPoint consumes time-series HEC samples; on real hardware those
+come from ``perf stat -I <ms> -x, -e <events>``. This module parses that
+CSV format into a :class:`repro.counters.sampling.SampleMatrix` (mapping
+full perf event names to the paper's short names via the Table 2
+database) and can emit the same format, so simulator output and real
+measurements are interchangeable downstream.
+
+The perf interval CSV format (one line per counter per interval)::
+
+    1.000545382,12345,,dtlb_load_misses.miss_causes_a_walk,800246,80.00
+    1.000545382,<not counted>,,some_event,0,0.00
+    ...
+
+Fields: timestamp, count (or ``<not counted>``/``<not supported>``),
+unit, event name, effective run time, percentage of time enabled.
+"""
+
+import io
+
+from repro.counters.events import HASWELL_MMU_EVENTS
+from repro.counters.sampling import SampleMatrix
+from repro.errors import ConfigurationError
+
+_NOT_COUNTED = ("<not counted>", "<not supported>")
+
+_FULL_TO_SHORT = {event.full_name: event.name for event in HASWELL_MMU_EVENTS}
+_SHORT_TO_FULL = {event.name: event.full_name for event in HASWELL_MMU_EVENTS}
+
+
+def parse_perf_csv(text, strict=True):
+    """Parse perf interval CSV text into a :class:`SampleMatrix`.
+
+    Event names are translated to paper-style short names when they
+    appear in the Table 2 database; unknown events are kept verbatim
+    (``strict=True`` raises instead). Missing counts (``<not counted>``)
+    become 0.0 for that interval.
+    """
+    per_interval = {}
+    order = []
+    for line_number, raw_line in enumerate(text.splitlines(), 1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split(",")
+        if len(fields) < 4:
+            raise ConfigurationError(
+                "perf CSV line %d has %d fields (need >= 4): %r"
+                % (line_number, len(fields), raw_line)
+            )
+        timestamp_text, count_text, _unit, event = fields[0], fields[1], fields[2], fields[3]
+        try:
+            timestamp = float(timestamp_text)
+        except ValueError:
+            raise ConfigurationError(
+                "perf CSV line %d has bad timestamp %r" % (line_number, timestamp_text)
+            ) from None
+        if count_text in _NOT_COUNTED:
+            count = 0.0
+        else:
+            try:
+                count = float(count_text)
+            except ValueError:
+                raise ConfigurationError(
+                    "perf CSV line %d has bad count %r" % (line_number, count_text)
+                ) from None
+        name = _FULL_TO_SHORT.get(event)
+        if name is None:
+            if strict:
+                raise ConfigurationError(
+                    "perf CSV line %d: unknown event %r (use strict=False to keep)"
+                    % (line_number, event)
+                )
+            name = event
+        bucket = per_interval.setdefault(timestamp, {})
+        bucket[name] = bucket.get(name, 0.0) + count
+        if name not in order:
+            order.append(name)
+
+    if len(per_interval) < 2:
+        raise ConfigurationError("perf CSV needs at least 2 sampling intervals")
+
+    timestamps = sorted(per_interval)
+    rows = []
+    for timestamp in timestamps:
+        bucket = per_interval[timestamp]
+        rows.append([bucket.get(name, 0.0) for name in order])
+    return SampleMatrix(order, rows)
+
+
+def read_perf_csv(path, strict=True):
+    """Parse a perf interval CSV file (see :func:`parse_perf_csv`)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_perf_csv(handle.read(), strict=strict)
+
+
+def format_perf_csv(sample_matrix, interval_seconds=1.0):
+    """Render a :class:`SampleMatrix` as perf interval CSV text.
+
+    Short counter names are translated back to full perf event names
+    where known. The synthetic run-time/percentage fields are emitted as
+    fully-counted (100%).
+    """
+    buffer = io.StringIO()
+    for index, row in enumerate(sample_matrix.samples):
+        timestamp = (index + 1) * interval_seconds
+        for name, value in zip(sample_matrix.counters, row):
+            event = _SHORT_TO_FULL.get(name, name)
+            buffer.write(
+                "%.9f,%d,,%s,%d,100.00\n"
+                % (timestamp, round(float(value)), event, int(interval_seconds * 1e9))
+            )
+    return buffer.getvalue()
+
+
+def write_perf_csv(sample_matrix, path, interval_seconds=1.0):
+    """Write :func:`format_perf_csv` output to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(format_perf_csv(sample_matrix, interval_seconds=interval_seconds))

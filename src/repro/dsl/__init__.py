@@ -1,0 +1,29 @@
+"""The model-specification DSL (Section 6 of the paper).
+
+Experts describe their mental model of the microarchitecture in a small
+imperative language; CounterPoint compiles it to a µDD. The grammar
+mirrors the paper's Figure 2 example::
+
+    incr load.causes_walk;
+    do LookupPde$;
+    switch Pde$Status {
+        Hit  => pass;
+        Miss => incr load.pde$_miss
+    };
+    done;
+
+Statements: ``incr <counter>;`` ``do <event>;`` ``pass;`` ``done;`` and
+C-style ``switch <Property> { Value => <stmt-or-block>; ... };``. Blocks
+are brace-delimited statement sequences. The DSL deliberately has no
+functions, loops or variables beyond µpath properties (per the paper).
+
+Entry points:
+
+* :func:`parse_program` — source text → combinator AST,
+* :func:`compile_dsl` — source text → validated :class:`repro.mudd.MuDD`.
+"""
+
+from repro.dsl.lexer import Token, tokenize
+from repro.dsl.parser import compile_dsl, parse_program
+
+__all__ = ["Token", "compile_dsl", "parse_program", "tokenize"]

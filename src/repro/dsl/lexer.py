@@ -1,0 +1,73 @@
+"""Tokenizer for the µDD specification DSL.
+
+Identifiers are generous — counter names such as ``load.pde$_miss`` and
+event names such as ``LookupPde$`` are single tokens — because HEC names
+embed dots, dollar signs and underscores.
+"""
+
+import re
+
+from repro.errors import DSLSyntaxError
+
+KEYWORDS = frozenset({"incr", "do", "switch", "pass", "done"})
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>\#[^\n]*|//[^\n]*)
+  | (?P<arrow>=>)
+  | (?P<lbrace>\{)
+  | (?P<rbrace>\})
+  | (?P<semi>;)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_.$+\-]*)
+    """,
+    re.VERBOSE,
+)
+
+
+class Token:
+    """A lexical token with source position (1-based line/column)."""
+
+    __slots__ = ("kind", "text", "line", "column")
+
+    def __init__(self, kind, text, line, column):
+        self.kind = kind
+        self.text = text
+        self.line = line
+        self.column = column
+
+    def __repr__(self):
+        return "Token(%s, %r, %d:%d)" % (self.kind, self.text, self.line, self.column)
+
+
+def tokenize(source):
+    """Tokenize DSL source; raises :class:`DSLSyntaxError` on bad input.
+
+    Token kinds: ``keyword``, ``ident``, ``arrow``, ``lbrace``,
+    ``rbrace``, ``semi``. Whitespace and ``#``/``//`` comments are
+    skipped.
+    """
+    tokens = []
+    position = 0
+    line = 1
+    line_start = 0
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            column = position - line_start + 1
+            raise DSLSyntaxError(
+                "unexpected character %r" % source[position], line=line, column=column
+            )
+        kind = match.lastgroup
+        text = match.group()
+        column = position - line_start + 1
+        if kind not in ("ws", "comment"):
+            if kind == "ident" and text in KEYWORDS:
+                kind = "keyword"
+            tokens.append(Token(kind, text, line, column))
+        newlines = text.count("\n")
+        if newlines:
+            line += newlines
+            line_start = position + text.rindex("\n") + 1
+        position = match.end()
+    return tokens

@@ -1,0 +1,54 @@
+"""Pretty-printer: program AST → DSL source.
+
+The paper promises to share its MMU µDDs; a printer makes models
+round-trippable artifacts (build programmatically, publish as DSL,
+re-parse elsewhere). ``parse_program(format_program(p))`` produces an
+equivalent program for every AST this library can build.
+"""
+
+from repro.errors import DSLError
+from repro.mudd.program import Do, Done, Incr, Pass, Seq, Statement, Switch
+
+_INDENT = "  "
+
+
+def format_program(program, indent=0):
+    """Render a program AST as DSL source text."""
+    if not isinstance(program, Statement):
+        raise DSLError("format_program expects a Statement")
+    lines = _format_statement(program, indent)
+    return "\n".join(lines) + "\n"
+
+
+def _format_statement(statement, depth):
+    pad = _INDENT * depth
+    if isinstance(statement, Incr):
+        return ["%sincr %s;" % (pad, statement.counter_name)]
+    if isinstance(statement, Do):
+        return ["%sdo %s;" % (pad, statement.event_name)]
+    if isinstance(statement, Pass):
+        return ["%spass;" % pad]
+    if isinstance(statement, Done):
+        return ["%sdone;" % pad]
+    if isinstance(statement, Seq):
+        lines = []
+        for inner in statement.statements:
+            lines.extend(_format_statement(inner, depth))
+        return lines
+    if isinstance(statement, Switch):
+        lines = ["%sswitch %s {" % (pad, statement.property_name)]
+        for value, body in statement.branches.items():
+            if _is_simple(body):
+                body_text = _format_statement(body, 0)[0]
+                lines.append("%s%s => %s" % (_INDENT * (depth + 1), value, body_text))
+            else:
+                lines.append("%s%s => {" % (_INDENT * (depth + 1), value))
+                lines.extend(_format_statement(body, depth + 2))
+                lines.append("%s};" % (_INDENT * (depth + 1)))
+        lines.append("%s};" % pad)
+        return lines
+    raise DSLError("unknown statement type %r" % (statement,))
+
+
+def _is_simple(statement):
+    return isinstance(statement, (Incr, Do, Pass, Done))

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the CounterPoint reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch package-level failures with a single ``except`` clause
+while still distinguishing the layer that failed.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class LinalgError(ReproError):
+    """Raised for invalid exact-linear-algebra operations (shape mismatch,
+    singular systems passed to :func:`repro.linalg.solve`, ...)."""
+
+
+class LPError(ReproError):
+    """Raised for malformed linear programs (unknown variables, empty
+    constraint rows, contradictory bounds detected at build time)."""
+
+
+class GeometryError(ReproError):
+    """Raised by the convex-geometry layer (e.g. degenerate cone input to
+    the double-description method)."""
+
+
+class MuDDError(ReproError):
+    """Raised for structurally invalid µpath Decision Diagrams (cycles in
+    causality edges, decision nodes with duplicate labels, unreachable
+    END nodes, ...)."""
+
+
+class DSLError(ReproError):
+    """Raised by the model-specification DSL lexer/parser/compiler."""
+
+
+class DSLSyntaxError(DSLError):
+    """A syntax error in DSL source; carries line/column information."""
+
+    def __init__(self, message, line=None, column=None):
+        self.line = line
+        self.column = column
+        location = ""
+        if line is not None:
+            location = " at line %d" % line
+            if column is not None:
+                location += ", column %d" % column
+        super().__init__(message + location)
+
+
+class AnalysisError(ReproError):
+    """Raised by the model-cone analysis layer (feasibility testing,
+    constraint deduction) when inputs are inconsistent."""
+
+
+class StatsError(ReproError):
+    """Raised by the statistics layer for invalid sample data (too few
+    samples, dimension mismatch, non-PSD covariance input, ...)."""
+
+
+class SimulationError(ReproError):
+    """Raised by the MMU/cache/workload simulation substrate."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a simulator or model is configured with inconsistent
+    options (e.g. a PML4E cache without a 4-level page table)."""

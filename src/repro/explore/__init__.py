@@ -1,0 +1,33 @@
+"""Guided model exploration (Section 5 of the paper).
+
+CounterPoint's feasibility verdicts drive an expert-in-the-loop search
+over the space of microarchitectural feature sets:
+
+* **Discovery** — starting from a conservative model, add every feature
+  that eliminates constraint violations until a feasible µDD emerges,
+* **Elimination** — recursively prune features from the feasible
+  candidate; infeasible sub-models prune their whole subtree (the
+  paper's empirical monotonicity heuristic),
+* **Classification** — features present in *every* feasible model are
+  confirmed; features present in only some are possible-but-ambiguous
+  (Figure 7).
+"""
+
+from repro.explore.search import GuidedSearch, ModelEvaluation, SearchResult
+from repro.explore.classification import classify_features, essential_features
+from repro.explore.refinement import (
+    PathRequirement,
+    describe_required_path,
+    suggest_features,
+)
+
+__all__ = [
+    "GuidedSearch",
+    "ModelEvaluation",
+    "PathRequirement",
+    "SearchResult",
+    "classify_features",
+    "describe_required_path",
+    "essential_features",
+    "suggest_features",
+]

@@ -1,0 +1,48 @@
+"""Model classification (Figure 7): what do feasible models agree on?
+
+If the workload dataset has covered the relevant behaviour space, a
+feature present in *every* feasible model must be present in the
+hardware; a feature present in some feasible models is possible but
+unconfirmed; a feature in no feasible model is unsupported by the data.
+"""
+
+from repro.errors import AnalysisError
+
+CONFIRMED = "confirmed"
+POSSIBLE = "possible"
+UNSUPPORTED = "unsupported"
+
+
+def essential_features(evaluations):
+    """Features present in every feasible model (Figure 7's F_Y)."""
+    feasible_sets = [ev.features for ev in _iter_evaluations(evaluations) if ev.feasible]
+    if not feasible_sets:
+        raise AnalysisError("no feasible models to classify")
+    essential = set(feasible_sets[0])
+    for features in feasible_sets[1:]:
+        essential &= features
+    return frozenset(essential)
+
+
+def classify_features(evaluations, candidate_features):
+    """Classify each candidate feature as confirmed / possible /
+    unsupported given the evaluated model population."""
+    feasible_sets = [ev.features for ev in _iter_evaluations(evaluations) if ev.feasible]
+    if not feasible_sets:
+        raise AnalysisError("no feasible models to classify")
+    classification = {}
+    for feature in candidate_features:
+        present = sum(1 for features in feasible_sets if feature in features)
+        if present == len(feasible_sets):
+            classification[feature] = CONFIRMED
+        elif present > 0:
+            classification[feature] = POSSIBLE
+        else:
+            classification[feature] = UNSUPPORTED
+    return classification
+
+
+def _iter_evaluations(evaluations):
+    if isinstance(evaluations, dict):
+        return list(evaluations.values())
+    return list(evaluations)

@@ -1,0 +1,201 @@
+"""Refinement suggestions: from violated constraints to candidate features.
+
+Section 5's mechanics: when constraint ``a·x <= b·x`` is violated, every
+feasible refinement must contain a µpath whose signature satisfies
+``a·S(p) > b·S(p)`` — i.e. a hardware behaviour that increments the
+left-hand counters without (as many of) the right-hand ones. This module
+mechanises the expert's reading of that requirement:
+
+* :func:`describe_required_path` — turn a violated constraint into the
+  µpath requirement, stated over counter names;
+* :func:`suggest_features` — match the requirement against a knowledge
+  base of microarchitectural feature archetypes (the Table 4 features,
+  described by which counter relationships they decouple) and rank the
+  candidates.
+
+The suggestions drive the same discovery loop `GuidedSearch` automates,
+but surfaced as human-readable guidance — the tool's actual interaction
+model in the paper.
+"""
+
+from repro.errors import AnalysisError
+from repro.models.features import (
+    EARLY_PSC,
+    MERGING,
+    PML4E_CACHE,
+    TLB_PF,
+    WALK_BYPASS,
+)
+
+
+class PathRequirement:
+    """What any feasible refinement's new µpath must look like."""
+
+    __slots__ = ("must_increment", "without_incrementing", "constraint")
+
+    def __init__(self, must_increment, without_incrementing, constraint):
+        self.must_increment = list(must_increment)
+        self.without_incrementing = list(without_incrementing)
+        self.constraint = constraint
+
+    def render(self):
+        return (
+            "need a µpath incrementing {%s} more than {%s} (violates: %s)"
+            % (
+                ", ".join(self.must_increment) or "nothing",
+                ", ".join(self.without_incrementing) or "nothing",
+                self.constraint.render(),
+            )
+        )
+
+    def __repr__(self):
+        return "PathRequirement(%s)" % self.render()
+
+
+def describe_required_path(constraint):
+    """The Section 5 reading of a violated model constraint.
+
+    For ``normal . x >= 0`` violated, a resolving µpath must have
+    ``normal . S(p) < 0``: it increments the negative-coefficient
+    counters (the constraint's left side) without enough of the
+    positive-coefficient ones.
+    """
+    negatives = [
+        name
+        for name, coefficient in zip(constraint.counters, constraint.normal)
+        if coefficient < 0
+    ]
+    positives = [
+        name
+        for name, coefficient in zip(constraint.counters, constraint.normal)
+        if coefficient > 0
+    ]
+    if not negatives and not positives:
+        raise AnalysisError("constraint has an empty normal")
+    return PathRequirement(negatives, positives, constraint)
+
+
+class FeatureArchetype:
+    """A microarchitectural feature, described by what it decouples.
+
+    ``decouples`` maps counter-substring patterns the feature lets fire
+    *without* the patterns in ``from_patterns`` firing alongside.
+    """
+
+    __slots__ = ("feature", "description", "emits_patterns", "without_patterns")
+
+    def __init__(self, feature, description, emits_patterns, without_patterns):
+        self.feature = feature
+        self.description = description
+        self.emits_patterns = tuple(emits_patterns)
+        self.without_patterns = tuple(without_patterns)
+
+    def score(self, requirement):
+        """How well this feature matches the path requirement: fraction
+        of must-increment counters it can emit, provided it avoids at
+        least one suppressed counter the requirement needs avoided."""
+        if not requirement.must_increment:
+            return 0.0
+        emitted = sum(
+            1
+            for name in requirement.must_increment
+            if any(pattern in name for pattern in self.emits_patterns)
+        )
+        if emitted == 0:
+            return 0.0
+        avoids = (
+            not requirement.without_incrementing
+            or any(
+                any(pattern in name for pattern in self.without_patterns)
+                for name in requirement.without_incrementing
+            )
+        )
+        if not avoids:
+            return 0.0
+        return emitted / len(requirement.must_increment)
+
+
+# The Table 4 features, as decoupling archetypes. "emits" are the counters
+# the feature's new µpaths can increment; "without" are the counters those
+# paths avoid — the decoupling that resolves violations.
+HASWELL_ARCHETYPES = (
+    FeatureArchetype(
+        TLB_PF,
+        "A translation prefetcher injects page-walker references (and PSC "
+        "probes) without demand walks or retired misses.",
+        emits_patterns=("walk_ref", "pde$_miss"),
+        without_patterns=("causes_walk", "walk_done", "ret"),
+    ),
+    FeatureArchetype(
+        EARLY_PSC,
+        "Probing the paging-structure caches before MSHR allocation lets "
+        "pde$_miss fire for requests that never start a walk.",
+        emits_patterns=("pde$_miss",),
+        without_patterns=("causes_walk", "walk_done"),
+    ),
+    FeatureArchetype(
+        MERGING,
+        "MSHR walk merging retires STLB-missing µops without walks of "
+        "their own.",
+        emits_patterns=("ret_stlb_miss", "pde$_miss"),
+        without_patterns=("causes_walk", "walk_done", "walk_ref"),
+    ),
+    FeatureArchetype(
+        PML4E_CACHE,
+        "A root-level MMU cache completes walks with fewer walker "
+        "references.",
+        emits_patterns=("causes_walk", "walk_done"),
+        without_patterns=("walk_ref",),
+    ),
+    FeatureArchetype(
+        WALK_BYPASS,
+        "Replayed walks complete without visible walker references.",
+        emits_patterns=("causes_walk", "walk_done", "ret_stlb_miss"),
+        without_patterns=("walk_ref",),
+    ),
+)
+
+
+def suggest_features(violations, archetypes=HASWELL_ARCHETYPES, threshold=0.0):
+    """Rank candidate features for a set of violations.
+
+    Parameters
+    ----------
+    violations:
+        Iterable of :class:`repro.cone.Violation` (or of
+        :class:`repro.cone.ModelConstraint` directly).
+    archetypes:
+        The feature knowledge base.
+    threshold:
+        Minimum per-violation match score to count.
+
+    Returns
+    -------
+    List of ``(feature, total_score, explanations)`` sorted by descending
+    score; ``explanations`` pairs each matched violation's rendered
+    constraint with the archetype description.
+    """
+    requirements = []
+    for violation in violations:
+        constraint = getattr(violation, "constraint", violation)
+        if constraint.is_equality:
+            continue  # equalities are structural, not feature-resolvable
+        requirements.append(describe_required_path(constraint))
+    if not requirements:
+        return []
+
+    ranked = []
+    for archetype in archetypes:
+        total = 0.0
+        explanations = []
+        for requirement in requirements:
+            score = archetype.score(requirement)
+            if score > threshold:
+                total += score
+                explanations.append(
+                    (requirement.constraint.render(), archetype.description)
+                )
+        if total > 0:
+            ranked.append((archetype.feature, total, explanations))
+    ranked.sort(key=lambda item: -item[1])
+    return ranked

@@ -1,0 +1,90 @@
+"""Textual reports for guided-exploration runs.
+
+Renders the artefacts the paper presents as tables: the model-by-model
+feasibility table (Table 3 style), a discovery-trail narrative, and the
+Figure 7 feature classification.
+"""
+
+from repro.explore.classification import classify_features
+from repro.errors import AnalysisError
+
+
+def render_evaluation_table(evaluations, feature_order, title="Model search"):
+    """Render evaluations as a Table 3-style text table.
+
+    ``evaluations`` is an iterable (or dict values) of
+    :class:`repro.explore.ModelEvaluation`; ``feature_order`` fixes the
+    column order of the feature checkmarks.
+    """
+    if isinstance(evaluations, dict):
+        evaluations = list(evaluations.values())
+    evaluations = sorted(
+        evaluations, key=lambda ev: (ev.n_infeasible, sorted(ev.features))
+    )
+    if not evaluations:
+        raise AnalysisError("no evaluations to render")
+
+    header = ["model".ljust(28)] + [name[:8].ljust(9) for name in feature_order] + ["#inf"]
+    lines = [title, "-" * len(title), " ".join(header)]
+    for index, evaluation in enumerate(evaluations):
+        star = "*" if evaluation.feasible else " "
+        label = "%s{%s}" % (star, ",".join(sorted(evaluation.features)) or "")
+        row = [label[:28].ljust(28)]
+        for feature in feature_order:
+            row.append(("yes" if feature in evaluation.features else "-").ljust(9))
+        row.append(str(evaluation.n_infeasible))
+        lines.append(" ".join(row))
+        del index
+    return "\n".join(lines)
+
+
+def render_discovery_trail(search, trail):
+    """Narrate a discovery run: feature set and score per step."""
+    lines = ["Discovery trail:"]
+    previous = None
+    for step, features in enumerate(trail):
+        evaluation = search.evaluate(features)
+        added = ""
+        if previous is not None:
+            gained = sorted(features - previous)
+            if gained:
+                added = "  (+%s)" % ",".join(gained)
+        lines.append(
+            "  step %d: %d/%d infeasible%s"
+            % (step, evaluation.n_infeasible, evaluation.n_observations, added)
+        )
+        previous = features
+    return "\n".join(lines)
+
+
+def render_classification(evaluations, feature_order):
+    """Render the Figure 7 classification as text."""
+    classification = classify_features(evaluations, feature_order)
+    lines = ["Feature classification:"]
+    for feature in feature_order:
+        lines.append("  %-14s %s" % (feature, classification[feature]))
+    return "\n".join(lines)
+
+
+def render_search_result(search, result, feature_order):
+    """Complete report for a :class:`repro.explore.SearchResult`."""
+    sections = [
+        render_evaluation_table(result.evaluations, feature_order),
+        "",
+        render_discovery_trail(search, result.discovery_trail),
+        "",
+    ]
+    if result.candidate is not None:
+        sections.append(
+            "Candidate model: {%s}" % ",".join(sorted(result.candidate))
+        )
+        minimal = result.minimal_feasible
+        sections.append(
+            "Minimal feasible models: %s"
+            % "; ".join("{%s}" % ",".join(sorted(f)) for f in minimal)
+        )
+        sections.append("")
+        sections.append(render_classification(result.evaluations, feature_order))
+    else:
+        sections.append("Discovery did not reach a feasible model.")
+    return "\n".join(sections)

@@ -1,0 +1,247 @@
+"""Polyhedral cones with exact V↔H conversion.
+
+A :class:`Cone` is created from generators (the µpath counter signatures)
+and can produce its complete H-representation — the paper's *model
+constraints* — as :class:`~repro.geometry.halfspace.ConeConstraint`
+objects. The conversion follows Section 6 of the paper:
+
+1. deduplicate and GCD-normalise the generators,
+2. find the linear span; its orthogonal complement yields the *equality*
+   constraints (Gaussian elimination step),
+3. project the generators into span coordinates, where the cone is
+   full-dimensional,
+4. facets of a full-dimensional cone are the extreme rays of its dual
+   cone ``{y : y . g >= 0 for all generators g}`` — computed exactly with
+   the double description method — and are lifted back to ambient
+   coordinates.
+
+This is mathematically equivalent to the paper's "convex hull of
+``{0} ∪ generators``, keep the faces through the origin" construction,
+but avoids general convex-hull machinery.
+"""
+
+from fractions import Fraction
+
+from repro.errors import GeometryError
+from repro.geometry.double_description import extreme_rays
+from repro.geometry.halfspace import EQUALITY, INEQUALITY, ConeConstraint
+from repro.linalg import (
+    as_fraction_matrix,
+    as_fraction_vector,
+    dot,
+    is_zero_vector,
+    nullspace,
+    rank,
+    row_space_basis,
+    rref,
+    scale_to_integers,
+    solve,
+)
+
+
+def coordinates_in_basis(basis, vector):
+    """Coordinates of ``vector`` in the span of ``basis`` rows.
+
+    Solves ``basis^T c = vector`` exactly; raises :class:`GeometryError`
+    if ``vector`` is outside the span.
+    """
+    dim = len(basis)
+    augmented = []
+    for j in range(len(vector)):
+        augmented.append([basis[k][j] for k in range(dim)] + [vector[j]])
+    reduced, pivots = rref(augmented)
+    if any(col == dim for col in pivots):
+        raise GeometryError("vector lies outside the basis span")
+    coords = [Fraction(0)] * dim
+    for row_index, pivot_col in enumerate(pivots):
+        coords[pivot_col] = reduced[row_index][dim]
+    return coords
+
+
+class Cone:
+    """A polyhedral cone ``{ sum f_p * g_p : f_p >= 0 }`` in R^N.
+
+    Parameters
+    ----------
+    generators:
+        Iterable of ambient-dimension vectors. Zero vectors are dropped;
+        duplicates (up to positive scaling) are merged.
+    ambient_dim:
+        Required when ``generators`` may be empty.
+    """
+
+    def __init__(self, generators, ambient_dim=None):
+        generators = [as_fraction_vector(g) for g in generators]
+        if ambient_dim is None:
+            if not generators:
+                raise GeometryError("ambient_dim required for an empty generator set")
+            ambient_dim = len(generators[0])
+        for g in generators:
+            if len(g) != ambient_dim:
+                raise GeometryError(
+                    "generator of length %d in ambient dimension %d" % (len(g), ambient_dim)
+                )
+        self.ambient_dim = ambient_dim
+        seen = set()
+        unique = []
+        for g in generators:
+            if is_zero_vector(g):
+                continue
+            normalized = scale_to_integers(g)
+            key = tuple(normalized)
+            if key not in seen:
+                seen.add(key)
+                unique.append(normalized)
+        self.generators = unique
+
+    @classmethod
+    def from_generators(cls, generators, ambient_dim=None):
+        return cls(generators, ambient_dim=ambient_dim)
+
+    # -- basic structure ------------------------------------------------
+    @property
+    def dim(self):
+        """Dimension of the cone's linear span."""
+        if not self.generators:
+            return 0
+        return rank(self.generators)
+
+    def span_basis(self):
+        """Canonical basis (RREF rows) of the cone's linear span."""
+        if not self.generators:
+            return []
+        return row_space_basis(self.generators)
+
+    # -- H-representation -----------------------------------------------
+    def facet_constraints(self):
+        """The complete, irredundant H-representation of the cone.
+
+        Returns a list of :class:`ConeConstraint`; equalities describe the
+        span, inequalities the facets within the span. A point lies in the
+        cone iff it satisfies all returned constraints (Minkowski–Weyl).
+        """
+        n = self.ambient_dim
+        if not self.generators:
+            # The zero cone: x == 0 componentwise.
+            constraints = []
+            for i in range(n):
+                normal = [Fraction(0)] * n
+                normal[i] = Fraction(1)
+                constraints.append(ConeConstraint(normal, EQUALITY))
+            return constraints
+
+        generator_matrix = as_fraction_matrix(self.generators)
+        constraints = [
+            ConeConstraint(normal, EQUALITY) for normal in nullspace(generator_matrix)
+        ]
+
+        basis = self.span_basis()
+        dim = len(basis)
+        coords = [coordinates_in_basis(basis, g) for g in self.generators]
+
+        if dim == 1:
+            # Within a 1-D span the cone is either a ray or the whole
+            # line. A ray has exactly one facet: the halfline itself.
+            signs = {1 if c[0] > 0 else -1 for c in coords}
+            if len(signs) == 2:
+                return constraints  # whole line: span equalities suffice
+            sign = signs.pop()
+            normal = [sign * entry for entry in basis[0]]
+            constraints.append(ConeConstraint(normal, INEQUALITY))
+            return constraints
+
+        # A facet normal y in span coordinates means "y . c(x) >= 0". To
+        # express it on ambient points x = B^T c we need n with B n = y;
+        # choosing n in the span gives n = B^T (B B^T)^{-1} y.
+        gram = [[dot(basis[i], basis[j]) for j in range(dim)] for i in range(dim)]
+        dual_rays = extreme_rays(coords)
+        for ray in dual_rays:
+            weights = solve(gram, ray)
+            normal = [Fraction(0)] * n
+            for k in range(dim):
+                if weights[k] == 0:
+                    continue
+                for j in range(n):
+                    normal[j] += weights[k] * basis[k][j]
+            constraints.append(ConeConstraint(normal, INEQUALITY))
+        return constraints
+
+    # -- membership ------------------------------------------------------
+    def contains(self, point, backend="exact"):
+        """Exact membership test via a feasibility LP over flows."""
+        from repro.lp import EQ, LinearProgram, Status, solve
+
+        point = as_fraction_vector(point)
+        if len(point) != self.ambient_dim:
+            raise GeometryError(
+                "point of length %d in ambient dimension %d"
+                % (len(point), self.ambient_dim)
+            )
+        if not self.generators:
+            return is_zero_vector(point)
+        lp = LinearProgram()
+        flow_names = []
+        for i in range(len(self.generators)):
+            name = "f%d" % i
+            lp.add_variable(name)
+            flow_names.append(name)
+        for coord in range(self.ambient_dim):
+            coefficients = {
+                flow_names[i]: self.generators[i][coord]
+                for i in range(len(self.generators))
+                if self.generators[i][coord] != 0
+            }
+            if not coefficients:
+                if point[coord] != 0:
+                    return False
+                continue
+            lp.add_constraint(coefficients, EQ, point[coord])
+        return solve(lp, backend=backend).status == Status.OPTIMAL
+
+    def is_subset_of(self, other, backend="exact"):
+        """True iff every generator of ``self`` lies in ``other``."""
+        if self.ambient_dim != other.ambient_dim:
+            raise GeometryError("dimension mismatch in cone comparison")
+        return all(other.contains(g, backend=backend) for g in self.generators)
+
+    def is_generator_redundant(self, index):
+        """Whether generator ``index`` lies in the cone of the others."""
+        others = [g for i, g in enumerate(self.generators) if i != index]
+        reduced = Cone(others, ambient_dim=self.ambient_dim)
+        return reduced.contains(self.generators[index])
+
+    def irredundant_generators(self, backend="exact"):
+        """Generators with cone-interior members removed (Section 6,
+        step 3 of the constraint-deduction pipeline).
+
+        ``backend="scipy"`` prunes with float LPs — much faster, but a
+        borderline generator may be misclassified. Callers that need an
+        exact final answer (see
+        :func:`repro.cone.constraints.deduce_constraints`) verify the
+        resulting H-representation against the original generators and
+        restore any casualty.
+        """
+        kept = list(self.generators)
+        index = 0
+        while index < len(kept):
+            candidate = kept[index]
+            rest = kept[:index] + kept[index + 1 :]
+            if rest and Cone(rest, ambient_dim=self.ambient_dim).contains(
+                candidate, backend=backend
+            ):
+                kept.pop(index)
+            else:
+                index += 1
+        return kept
+
+    def __repr__(self):
+        return "Cone(%d generators in R^%d, dim %d)" % (
+            len(self.generators),
+            self.ambient_dim,
+            self.dim,
+        )
+
+
+def cone_equal(cone_a, cone_b):
+    """Exact equality of two cones (mutual inclusion)."""
+    return cone_a.is_subset_of(cone_b) and cone_b.is_subset_of(cone_a)

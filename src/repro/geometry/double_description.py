@@ -1,0 +1,210 @@
+"""The double description (Motzkin et al.) method, exact over Fractions.
+
+Given a *pointed* polyhedral cone in H-representation::
+
+    C = { x in R^d : a_i . x >= 0  for every row a_i of A }
+
+:func:`extreme_rays` computes the finite set of extreme rays generating
+``C`` (its V-representation). This is the computational heart of
+CounterPoint's constraint deduction: facets of the model cone are the
+extreme rays of its dual cone (see :mod:`repro.geometry.cone`).
+
+Algorithm
+---------
+1. Pick ``d`` linearly independent constraint rows and build the
+   simplicial cone they bound: its rays are the columns of the inverse of
+   the chosen row submatrix (``a_i . r_j = delta_ij``).
+2. Insert the remaining constraints one at a time. For constraint ``a``,
+   split current rays into positive / zero / negative by the sign of
+   ``a . r``; keep positive and zero rays, and for every *adjacent*
+   positive/negative pair ``(p, n)`` emit the combination
+   ``(a.p) n - (a.n) p`` (which lies on the hyperplane ``a . x = 0``).
+3. Adjacency uses the exact algebraic test: ``p`` and ``n`` are adjacent
+   iff the constraints active (tight) at both span a rank-``(d-2)``
+   subspace.
+
+Complexity is exponential in the worst case — exactly the behaviour the
+paper reports for constraint deduction (Figure 9b).
+"""
+
+from repro.errors import GeometryError
+from repro.linalg import (
+    as_fraction_matrix,
+    dot,
+    rank,
+    scale_to_integers,
+    solve,
+)
+
+
+def _independent_row_subset(matrix, dim):
+    """Indices of ``dim`` linearly independent rows, greedily selected."""
+    chosen = []
+    chosen_rows = []
+    for index, row in enumerate(matrix):
+        candidate = chosen_rows + [row]
+        if rank(candidate) == len(candidate):
+            chosen.append(index)
+            chosen_rows.append(row)
+            if len(chosen) == dim:
+                return chosen
+    raise GeometryError(
+        "cone is not pointed: constraint matrix has rank %d < dimension %d"
+        % (len(chosen), dim)
+    )
+
+
+def _initial_simplicial_rays(matrix, chosen):
+    """Rays of the simplicial cone bounded by the chosen constraints.
+
+    Ray ``r_j`` solves ``a_i . r_j = delta_ij`` over the chosen rows, i.e.
+    the rays are the columns of the inverse of the chosen submatrix.
+    """
+    dim = len(chosen)
+    submatrix = [matrix[i] for i in chosen]
+    rays = []
+    for j in range(dim):
+        rhs = [1 if i == j else 0 for i in range(dim)]
+        rays.append(scale_to_integers(solve(submatrix, rhs)))
+    return rays
+
+
+def _active_set(matrix, indices, ray):
+    """Constraint indices (among ``indices``) tight at ``ray``."""
+    return frozenset(i for i in indices if dot(matrix[i], ray) == 0)
+
+
+def _adjacent(matrix, dim, ray_a_active, ray_b_active):
+    """Exact algebraic adjacency test for two extreme rays."""
+    common = ray_a_active & ray_b_active
+    if len(common) < dim - 2:
+        return False
+    submatrix = [matrix[i] for i in common]
+    return rank(submatrix) == dim - 2
+
+
+def extreme_rays(inequalities):
+    """Extreme rays of the pointed cone ``{x : A x >= 0}``.
+
+    Parameters
+    ----------
+    inequalities:
+        The rows of ``A`` (each a vector of length ``d``). Must have rank
+        ``d`` (i.e. the cone must be pointed), otherwise
+        :class:`GeometryError` is raised.
+
+    Returns
+    -------
+    list of ray vectors (coprime-integer Fractions), one per extreme ray,
+    in no particular order. The zero cone yields an empty list.
+    """
+    matrix = as_fraction_matrix(inequalities)
+    if not matrix:
+        raise GeometryError("extreme_rays requires at least one constraint")
+    dim = len(matrix[0])
+    if dim == 0:
+        return []
+    # Drop all-zero rows (trivial constraints).
+    matrix = [row for row in matrix if any(entry != 0 for entry in row)]
+    if rank(matrix) < dim:
+        raise GeometryError(
+            "cone is not pointed: constraint matrix has rank %d < dimension %d"
+            % (rank(matrix), dim)
+        )
+
+    if dim == 1:
+        # One-dimensional special case: cone is {0}, a ray, or would need
+        # rank 1 which is guaranteed above. Sign of constraints decides.
+        has_positive = any(row[0] > 0 for row in matrix)
+        has_negative = any(row[0] < 0 for row in matrix)
+        if has_positive and has_negative:
+            return []
+        return [[matrix[0][0] / abs(matrix[0][0])]] if matrix else []
+
+    chosen = _independent_row_subset(matrix, dim)
+    rays = _initial_simplicial_rays(matrix, chosen)
+    processed = list(chosen)
+    processed_set = set(chosen)
+    # active sets relative to processed constraints
+    actives = [_active_set(matrix, processed, ray) for ray in rays]
+
+    for index, row in enumerate(matrix):
+        if index in processed_set:
+            continue
+        values = [dot(row, ray) for ray in rays]
+        positive = [i for i, v in enumerate(values) if v > 0]
+        zero = [i for i, v in enumerate(values) if v == 0]
+        negative = [i for i, v in enumerate(values) if v < 0]
+
+        if not negative:
+            # Constraint is redundant for the current cone; still record
+            # activity for adjacency bookkeeping.
+            processed.append(index)
+            processed_set.add(index)
+            actives = [
+                active | {index} if values[i] == 0 else active
+                for i, active in enumerate(actives)
+            ]
+            continue
+
+        new_rays = []
+        new_actives = []
+        for i in positive + zero:
+            new_rays.append(rays[i])
+            active = actives[i]
+            if values[i] == 0:
+                active = active | {index}
+            new_actives.append(active)
+
+        for p in positive:
+            for n in negative:
+                if not _adjacent(matrix, dim, actives[p], actives[n]):
+                    continue
+                combined = [
+                    values[p] * n_entry - values[n] * p_entry
+                    for p_entry, n_entry in zip(rays[p], rays[n])
+                ]
+                combined = scale_to_integers(combined)
+                new_rays.append(combined)
+                new_actives.append(None)  # recomputed below
+
+        processed.append(index)
+        processed_set.add(index)
+        rays = []
+        actives = []
+        seen = set()
+        for ray, active in zip(new_rays, new_actives):
+            key = tuple(ray)
+            if key in seen:
+                continue
+            seen.add(key)
+            rays.append(ray)
+            if active is None:
+                active = _active_set(matrix, processed, ray)
+            actives.append(active)
+
+    return rays
+
+
+def cone_contains_point_by_rays(rays, point):
+    """Exact membership test of ``point`` in ``cone(rays)`` by solving the
+    non-negative combination system with RREF + sign checks.
+
+    Only used in tests and on small instances; the production membership
+    test is the LP in :mod:`repro.cone.feasibility`.
+    """
+    from repro.lp import EQ, LinearProgram, Status, solve as lp_solve
+
+    if not rays:
+        return all(value == 0 for value in point)
+    lp = LinearProgram()
+    for i in range(len(rays)):
+        lp.add_variable("f%d" % i)
+    dim = len(point)
+    for coord in range(dim):
+        coefficients = {"f%d" % i: rays[i][coord] for i in range(len(rays))}
+        lp.add_constraint(coefficients, EQ, point[coord])
+    return lp_solve(lp).status == Status.OPTIMAL
+
+
+__all__ = ["extreme_rays", "cone_contains_point_by_rays"]

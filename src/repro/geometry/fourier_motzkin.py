@@ -1,0 +1,117 @@
+"""Fourier–Motzkin elimination, used to cross-check double description.
+
+Fourier–Motzkin projects a system of homogeneous inequalities onto a
+prefix of its variables by eliminating one variable at a time. Combining
+it with the counter-flow equalities gives an *independent* route from
+µpath signatures to model constraints: eliminate the flow variables from
+``{ (v, f) : v = S^T f, f >= 0 }`` and read off the inequalities on ``v``.
+
+The method is doubly exponential, so it is only suitable for the small
+instances used in tests — which is exactly its role here: the test suite
+asserts that Fourier–Motzkin and the double-description facet enumeration
+describe the same cone.
+"""
+
+from fractions import Fraction
+
+from repro.errors import GeometryError
+from repro.linalg import as_fraction_matrix, is_zero_vector, normalize_integer_vector
+
+
+def _dedupe(rows):
+    seen = set()
+    unique = []
+    for row in rows:
+        if is_zero_vector(row):
+            continue
+        key = tuple(normalize_integer_vector(row)), _sign_class(row)
+        if key not in seen:
+            seen.add(key)
+            unique.append(row)
+    return unique
+
+
+def _sign_class(row):
+    """Disambiguate row vs -row after normalisation (direction matters
+    for inequalities)."""
+    for value in row:
+        if value > 0:
+            return 1
+        if value < 0:
+            return -1
+    return 0
+
+
+def fourier_motzkin_project(inequalities, n_keep):
+    """Project ``{z : A z >= 0}`` onto its first ``n_keep`` coordinates.
+
+    Parameters
+    ----------
+    inequalities:
+        Rows ``a`` meaning ``a . z >= 0``.
+    n_keep:
+        Number of leading coordinates to keep; all later coordinates are
+        eliminated (in reverse order).
+
+    Returns
+    -------
+    A list of inequality normals over the first ``n_keep`` coordinates
+    describing the projection. May contain redundant rows.
+    """
+    rows = as_fraction_matrix(inequalities)
+    if rows and n_keep > len(rows[0]):
+        raise GeometryError("n_keep exceeds the system's dimension")
+    if not rows:
+        return []
+    width = len(rows[0])
+    for eliminate in range(width - 1, n_keep - 1, -1):
+        positive = [row for row in rows if row[eliminate] > 0]
+        negative = [row for row in rows if row[eliminate] < 0]
+        unaffected = [row for row in rows if row[eliminate] == 0]
+        combined = []
+        for pos in positive:
+            for neg in negative:
+                # Scale so the eliminated coefficient cancels:
+                #   pos[e] * neg - neg[e] * pos  has zero at position e
+                row = [
+                    pos[eliminate] * neg_entry - neg[eliminate] * pos_entry
+                    for pos_entry, neg_entry in zip(pos, neg)
+                ]
+                combined.append(row)
+        rows = _dedupe(unaffected + combined)
+    return [row[:n_keep] for row in rows]
+
+
+def cone_h_representation_by_fm(generators, ambient_dim=None):
+    """H-representation of ``cone(generators)`` via Fourier–Motzkin.
+
+    Builds the lifted system over ``(v, f)`` — counter values and flows —
+    and eliminates the flows. Equalities appear as paired rows ``a`` and
+    ``-a``; they are returned as inequalities (callers that need equality
+    detection can pair them up).
+
+    Only for small instances (tests); production code uses
+    :meth:`repro.geometry.Cone.facet_constraints`.
+    """
+    generators = as_fraction_matrix(generators)
+    if ambient_dim is None:
+        if not generators:
+            raise GeometryError("ambient_dim required for an empty generator set")
+        ambient_dim = len(generators[0])
+    n_flows = len(generators)
+    width = ambient_dim + n_flows
+    rows = []
+    # v_j - sum_i S[i][j] f_i == 0, as two inequalities each.
+    for j in range(ambient_dim):
+        row = [Fraction(0)] * width
+        row[j] = Fraction(1)
+        for i in range(n_flows):
+            row[ambient_dim + i] = -generators[i][j]
+        rows.append(row)
+        rows.append([-entry for entry in row])
+    # f_i >= 0
+    for i in range(n_flows):
+        row = [Fraction(0)] * width
+        row[ambient_dim + i] = Fraction(1)
+        rows.append(row)
+    return fourier_motzkin_project(rows, ambient_dim)

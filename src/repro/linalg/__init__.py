@@ -1,0 +1,56 @@
+"""Exact rational linear algebra over :class:`fractions.Fraction`.
+
+The constraint-deduction pipeline of CounterPoint (Section 6 of the paper)
+requires *exact* arithmetic: counter signatures are small integer vectors,
+and the paper notes that standard floating-point methods (e.g. QR
+factorisation) are ill-conditioned for deducing equality constraints and
+facets. This subpackage provides the small exact toolkit the rest of the
+library builds on:
+
+* :func:`rref` — reduced row echelon form with pivot bookkeeping,
+* :func:`rank`, :func:`nullspace`, :func:`row_space_basis`,
+* :func:`solve` — exact solution of square systems,
+* assorted vector helpers (:func:`dot`, :func:`normalize_integer_vector`).
+
+Matrices are plain lists of lists of :class:`~fractions.Fraction`; vectors
+are lists of Fractions. This keeps the data model transparent and avoids
+any dependency on numpy for the exact path.
+"""
+
+from repro.linalg.matrix import (
+    as_fraction_matrix,
+    as_fraction_vector,
+    dot,
+    identity,
+    is_zero_vector,
+    matmul,
+    matvec,
+    normalize_integer_vector,
+    nullspace,
+    rank,
+    row_space_basis,
+    rref,
+    scale_to_integers,
+    solve,
+    transpose,
+    vector_sub,
+)
+
+__all__ = [
+    "as_fraction_matrix",
+    "as_fraction_vector",
+    "dot",
+    "identity",
+    "is_zero_vector",
+    "matmul",
+    "matvec",
+    "normalize_integer_vector",
+    "nullspace",
+    "rank",
+    "row_space_basis",
+    "rref",
+    "scale_to_integers",
+    "solve",
+    "transpose",
+    "vector_sub",
+]

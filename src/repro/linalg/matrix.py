@@ -1,0 +1,220 @@
+"""Exact matrix and vector operations over :class:`fractions.Fraction`.
+
+All functions are pure: they never mutate their arguments. Matrices are
+lists of rows; each row is a list of :class:`~fractions.Fraction`. The
+module is deliberately free of numpy so that every result is exact.
+"""
+
+from fractions import Fraction
+from math import gcd
+
+from repro.errors import LinalgError
+
+
+def as_fraction_vector(values):
+    """Convert an iterable of numbers into a list of Fractions.
+
+    Floats are converted exactly (``Fraction(float)`` is lossless), which
+    matters when confidence-region bounds computed in floating point are
+    fed into the exact LP solver.
+    """
+    return [value if isinstance(value, Fraction) else Fraction(value) for value in values]
+
+
+def as_fraction_matrix(rows):
+    """Convert an iterable of row iterables into a Fraction matrix.
+
+    Raises :class:`LinalgError` if the rows are ragged.
+    """
+    matrix = [as_fraction_vector(row) for row in rows]
+    if matrix:
+        width = len(matrix[0])
+        for row in matrix:
+            if len(row) != width:
+                raise LinalgError("ragged matrix: expected width %d, got %d" % (width, len(row)))
+    return matrix
+
+
+def identity(n):
+    """Return the ``n``-by-``n`` identity matrix."""
+    return [[Fraction(1) if i == j else Fraction(0) for j in range(n)] for i in range(n)]
+
+
+def transpose(matrix):
+    """Return the transpose of ``matrix``."""
+    if not matrix:
+        return []
+    return [list(column) for column in zip(*matrix)]
+
+
+def dot(u, v):
+    """Exact dot product of two equal-length vectors."""
+    if len(u) != len(v):
+        raise LinalgError("dot: length mismatch (%d vs %d)" % (len(u), len(v)))
+    return sum((a * b for a, b in zip(u, v)), Fraction(0))
+
+
+def vector_sub(u, v):
+    """Return ``u - v`` elementwise."""
+    if len(u) != len(v):
+        raise LinalgError("vector_sub: length mismatch (%d vs %d)" % (len(u), len(v)))
+    return [a - b for a, b in zip(u, v)]
+
+
+def matvec(matrix, vector):
+    """Exact matrix-vector product."""
+    return [dot(row, vector) for row in matrix]
+
+
+def matmul(a, b):
+    """Exact matrix-matrix product."""
+    if a and b and len(a[0]) != len(b):
+        raise LinalgError("matmul: inner dimension mismatch (%d vs %d)" % (len(a[0]), len(b)))
+    bt = transpose(b)
+    return [[dot(row, col) for col in bt] for row in a]
+
+
+def is_zero_vector(vector):
+    """True if every component is zero."""
+    return all(value == 0 for value in vector)
+
+
+def rref(matrix):
+    """Reduced row echelon form.
+
+    Returns a pair ``(reduced, pivot_columns)`` where ``reduced`` is a new
+    matrix in RREF and ``pivot_columns`` lists the column index of each
+    pivot in row order. Zero rows sink to the bottom of ``reduced``.
+    """
+    reduced = [list(row) for row in as_fraction_matrix(matrix)]
+    if not reduced:
+        return [], []
+    n_rows = len(reduced)
+    n_cols = len(reduced[0])
+    pivot_columns = []
+    pivot_row = 0
+    for col in range(n_cols):
+        if pivot_row >= n_rows:
+            break
+        # Find a row at or below pivot_row with a nonzero entry in col.
+        target = None
+        for row in range(pivot_row, n_rows):
+            if reduced[row][col] != 0:
+                target = row
+                break
+        if target is None:
+            continue
+        reduced[pivot_row], reduced[target] = reduced[target], reduced[pivot_row]
+        pivot_value = reduced[pivot_row][col]
+        reduced[pivot_row] = [entry / pivot_value for entry in reduced[pivot_row]]
+        for row in range(n_rows):
+            if row != pivot_row and reduced[row][col] != 0:
+                factor = reduced[row][col]
+                reduced[row] = [
+                    entry - factor * pivot_entry
+                    for entry, pivot_entry in zip(reduced[row], reduced[pivot_row])
+                ]
+        pivot_columns.append(col)
+        pivot_row += 1
+    return reduced, pivot_columns
+
+
+def rank(matrix):
+    """Exact rank of ``matrix``."""
+    _, pivots = rref(matrix)
+    return len(pivots)
+
+
+def row_space_basis(matrix):
+    """Return a basis (list of vectors) for the row space of ``matrix``.
+
+    The basis vectors are the nonzero rows of the RREF, so they are in a
+    canonical form: comparisons between row spaces can be done by
+    comparing bases directly.
+    """
+    reduced, pivots = rref(matrix)
+    return [row for row in reduced[: len(pivots)]]
+
+
+def nullspace(matrix):
+    """Return a basis for the (right) nullspace of ``matrix``.
+
+    Each basis vector ``v`` satisfies ``matrix @ v == 0`` exactly. The
+    basis is produced by the standard free-variable construction from the
+    RREF, so it is canonical for a given input.
+    """
+    reduced, pivots = rref(matrix)
+    if not reduced:
+        return []
+    n_cols = len(reduced[0])
+    pivot_set = set(pivots)
+    free_columns = [col for col in range(n_cols) if col not in pivot_set]
+    basis = []
+    for free in free_columns:
+        vector = [Fraction(0)] * n_cols
+        vector[free] = Fraction(1)
+        for row_index, pivot_col in enumerate(pivots):
+            vector[pivot_col] = -reduced[row_index][free]
+        basis.append(vector)
+    return basis
+
+
+def solve(matrix, rhs):
+    """Solve ``matrix @ x == rhs`` exactly for square, nonsingular systems.
+
+    Raises :class:`LinalgError` when the system is singular or the shapes
+    do not match.
+    """
+    matrix = as_fraction_matrix(matrix)
+    rhs = as_fraction_vector(rhs)
+    n = len(matrix)
+    if n == 0:
+        return []
+    if len(matrix[0]) != n:
+        raise LinalgError("solve: matrix must be square")
+    if len(rhs) != n:
+        raise LinalgError("solve: rhs length %d does not match matrix size %d" % (len(rhs), n))
+    augmented = [row + [value] for row, value in zip(matrix, rhs)]
+    reduced, pivots = rref(augmented)
+    if len(pivots) < n or any(col >= n for col in pivots):
+        raise LinalgError("solve: singular or inconsistent system")
+    return [reduced[i][n] for i in range(n)]
+
+
+def scale_to_integers(vector):
+    """Scale a rational vector by a positive rational so all entries are
+    coprime integers (returned as Fractions with denominator 1).
+
+    The zero vector is returned unchanged. The sign of the vector is
+    preserved: only a *positive* multiple is applied, so halfspace
+    normals keep their orientation.
+    """
+    vector = as_fraction_vector(vector)
+    if is_zero_vector(vector):
+        return vector
+    denominator_lcm = 1
+    for value in vector:
+        d = value.denominator
+        denominator_lcm = denominator_lcm * d // gcd(denominator_lcm, d)
+    integers = [int(value * denominator_lcm) for value in vector]
+    common = 0
+    for value in integers:
+        common = gcd(common, abs(value))
+    return [Fraction(value // common) for value in integers]
+
+
+def normalize_integer_vector(vector):
+    """Canonical form of a direction vector: integer, coprime entries and
+    the first nonzero entry positive.
+
+    Used for deduplicating counter signatures and facet normals. Unlike
+    :func:`scale_to_integers`, this may flip the sign, so it must only be
+    used where direction-up-to-sign is the identity of interest.
+    """
+    scaled = scale_to_integers(vector)
+    for value in scaled:
+        if value > 0:
+            return scaled
+        if value < 0:
+            return [-entry for entry in scaled]
+    return scaled

@@ -1,0 +1,152 @@
+"""A small linear-programming modelling layer.
+
+A :class:`LinearProgram` holds named variables (with optional bounds),
+linear constraints expressed as coefficient dictionaries, and an optional
+objective. Both the exact simplex backend and the scipy backend consume
+this representation.
+
+Example
+-------
+>>> lp = LinearProgram()
+>>> lp.add_variable("x")            # x >= 0 by default
+>>> lp.add_variable("y", lower=None)  # free variable
+>>> lp.add_constraint({"x": 1, "y": 2}, LE, 10)
+>>> lp.set_objective({"x": -1}, MINIMIZE)
+"""
+
+from fractions import Fraction
+
+from repro.errors import LPError
+
+LE = "<="
+GE = ">="
+EQ = "=="
+
+MINIMIZE = "min"
+MAXIMIZE = "max"
+
+_SENSES = (LE, GE, EQ)
+
+
+def _to_fraction(value):
+    return value if isinstance(value, Fraction) else Fraction(value)
+
+
+class Variable:
+    """A decision variable with optional bounds.
+
+    ``lower``/``upper`` may be numbers or ``None`` (unbounded on that
+    side). The default is the LP-standard ``x >= 0``.
+    """
+
+    __slots__ = ("name", "lower", "upper")
+
+    def __init__(self, name, lower=Fraction(0), upper=None):
+        self.name = name
+        self.lower = None if lower is None else _to_fraction(lower)
+        self.upper = None if upper is None else _to_fraction(upper)
+        if self.lower is not None and self.upper is not None and self.lower > self.upper:
+            raise LPError(
+                "variable %r has empty domain [%s, %s]" % (name, self.lower, self.upper)
+            )
+
+    def __repr__(self):
+        return "Variable(%r, lower=%s, upper=%s)" % (self.name, self.lower, self.upper)
+
+
+class Constraint:
+    """A linear constraint ``sum(coeffs[v] * v) <sense> rhs``."""
+
+    __slots__ = ("coefficients", "sense", "rhs", "name")
+
+    def __init__(self, coefficients, sense, rhs, name=None):
+        if sense not in _SENSES:
+            raise LPError("unknown constraint sense %r" % (sense,))
+        self.coefficients = {var: _to_fraction(coeff) for var, coeff in coefficients.items()}
+        self.sense = sense
+        self.rhs = _to_fraction(rhs)
+        self.name = name
+
+    def violation(self, assignment):
+        """Amount by which ``assignment`` (a name->value mapping) violates
+        this constraint; zero or negative means satisfied."""
+        lhs = sum(
+            (coeff * _to_fraction(assignment.get(var, 0)) for var, coeff in self.coefficients.items()),
+            Fraction(0),
+        )
+        if self.sense == LE:
+            return lhs - self.rhs
+        if self.sense == GE:
+            return self.rhs - lhs
+        return abs(lhs - self.rhs)
+
+    def __repr__(self):
+        return "Constraint(%r, %s, %s, name=%r)" % (
+            self.coefficients,
+            self.sense,
+            self.rhs,
+            self.name,
+        )
+
+
+class LinearProgram:
+    """A named-variable linear program.
+
+    Variables must be declared before they are referenced by constraints
+    or the objective; this catches typos in counter names early.
+    """
+
+    def __init__(self):
+        self._variables = {}
+        self._order = []
+        self.constraints = []
+        self.objective = {}
+        self.objective_sense = MINIMIZE
+
+    # -- variables ----------------------------------------------------
+    def add_variable(self, name, lower=Fraction(0), upper=None):
+        """Declare a variable; returns the :class:`Variable`."""
+        if name in self._variables:
+            raise LPError("duplicate variable %r" % (name,))
+        variable = Variable(name, lower=lower, upper=upper)
+        self._variables[name] = variable
+        self._order.append(name)
+        return variable
+
+    def has_variable(self, name):
+        return name in self._variables
+
+    @property
+    def variables(self):
+        """Variables in declaration order."""
+        return [self._variables[name] for name in self._order]
+
+    @property
+    def variable_names(self):
+        return list(self._order)
+
+    # -- constraints and objective ------------------------------------
+    def add_constraint(self, coefficients, sense, rhs, name=None):
+        """Add ``sum(coeff * var) <sense> rhs``; returns the Constraint."""
+        self._check_known(coefficients)
+        constraint = Constraint(coefficients, sense, rhs, name=name)
+        self.constraints.append(constraint)
+        return constraint
+
+    def set_objective(self, coefficients, sense=MINIMIZE):
+        if sense not in (MINIMIZE, MAXIMIZE):
+            raise LPError("unknown objective sense %r" % (sense,))
+        self._check_known(coefficients)
+        self.objective = {var: _to_fraction(coeff) for var, coeff in coefficients.items()}
+        self.objective_sense = sense
+
+    def _check_known(self, coefficients):
+        for var in coefficients:
+            if var not in self._variables:
+                raise LPError("unknown variable %r (declare it with add_variable first)" % (var,))
+
+    def __repr__(self):
+        return "LinearProgram(%d variables, %d constraints)" % (
+            len(self._order),
+            len(self.constraints),
+        )

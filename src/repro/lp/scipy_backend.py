@@ -1,0 +1,80 @@
+"""Floating-point LP backend built on ``scipy.optimize.linprog`` (HiGHS).
+
+This backend exists for two reasons:
+
+1. *Cross-checking*: the test suite solves the same programs with the
+   exact simplex and with HiGHS and asserts agreement (up to float
+   tolerance), guarding both implementations against each other.
+2. *Speed*: large batch feasibility sweeps (e.g. the Table 3 benchmark
+   with thousands of observations) can optionally run on HiGHS.
+
+Because the answers are floating point, callers that need exactness
+(borderline feasibility on a cone facet) should use the exact backend.
+"""
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.errors import LPError
+from repro.lp.problem import EQ, GE, LE, MAXIMIZE, LinearProgram
+
+
+def solve_scipy(program):
+    """Solve a :class:`LinearProgram` with HiGHS.
+
+    Returns ``(status, assignment, objective)`` mirroring
+    :func:`repro.lp.simplex.solve_exact`, with float values.
+    """
+    if not isinstance(program, LinearProgram):
+        raise LPError("solve_scipy expects a LinearProgram")
+    names = program.variable_names
+    index = {name: i for i, name in enumerate(names)}
+    n = len(names)
+
+    sign = -1.0 if program.objective_sense == MAXIMIZE else 1.0
+    c = np.zeros(n)
+    for name, coeff in program.objective.items():
+        c[index[name]] = sign * float(coeff)
+
+    a_ub, b_ub, a_eq, b_eq = [], [], [], []
+    for constraint in program.constraints:
+        row = np.zeros(n)
+        for name, coeff in constraint.coefficients.items():
+            row[index[name]] = float(coeff)
+        rhs = float(constraint.rhs)
+        if constraint.sense == LE:
+            a_ub.append(row)
+            b_ub.append(rhs)
+        elif constraint.sense == GE:
+            a_ub.append(-row)
+            b_ub.append(-rhs)
+        elif constraint.sense == EQ:
+            a_eq.append(row)
+            b_eq.append(rhs)
+
+    bounds = []
+    for variable in program.variables:
+        lower = None if variable.lower is None else float(variable.lower)
+        upper = None if variable.upper is None else float(variable.upper)
+        bounds.append((lower, upper))
+
+    result = linprog(
+        c,
+        A_ub=np.array(a_ub) if a_ub else None,
+        b_ub=np.array(b_ub) if b_ub else None,
+        A_eq=np.array(a_eq) if a_eq else None,
+        b_eq=np.array(b_eq) if b_eq else None,
+        bounds=bounds,
+        method="highs",
+    )
+    if result.status == 2:
+        return "infeasible", None, None
+    if result.status == 3:
+        return "unbounded", None, None
+    if not result.success:
+        raise LPError("HiGHS failed: %s" % (result.message,))
+    assignment = {name: float(result.x[index[name]]) for name in names}
+    objective = float(result.fun)
+    if program.objective_sense == MAXIMIZE:
+        objective = -objective
+    return "optimal", assignment, objective

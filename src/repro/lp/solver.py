@@ -1,0 +1,68 @@
+"""Backend dispatch for linear programs.
+
+:func:`solve` is the single entry point used by the rest of the library.
+The default backend is the exact rational simplex; pass
+``backend="scipy"`` for the HiGHS float backend.
+"""
+
+from repro.errors import LPError
+
+
+class Status:
+    """LP solve outcomes."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+
+
+class SolveResult:
+    """Outcome of an LP solve.
+
+    Attributes
+    ----------
+    status:
+        One of the :class:`Status` constants.
+    assignment:
+        Mapping of variable name to value when optimal, else ``None``.
+    objective:
+        Objective value when optimal, else ``None``. Zero for pure
+        feasibility problems with no objective set.
+    """
+
+    __slots__ = ("status", "assignment", "objective")
+
+    def __init__(self, status, assignment, objective):
+        self.status = status
+        self.assignment = assignment
+        self.objective = objective
+
+    @property
+    def is_feasible(self):
+        return self.status == Status.OPTIMAL
+
+    def __repr__(self):
+        return "SolveResult(status=%r, objective=%r)" % (self.status, self.objective)
+
+
+def solve(program, backend="exact"):
+    """Solve ``program`` with the chosen backend.
+
+    Parameters
+    ----------
+    program:
+        A :class:`repro.lp.problem.LinearProgram`.
+    backend:
+        ``"exact"`` (rational simplex, default) or ``"scipy"`` (HiGHS).
+    """
+    if backend == "exact":
+        from repro.lp.simplex import solve_exact
+
+        status, assignment, objective = solve_exact(program)
+    elif backend == "scipy":
+        from repro.lp.scipy_backend import solve_scipy
+
+        status, assignment, objective = solve_scipy(program)
+    else:
+        raise LPError("unknown LP backend %r" % (backend,))
+    return SolveResult(status, assignment, objective)

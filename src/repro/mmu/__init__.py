@@ -1,0 +1,48 @@
+"""The Haswell data-side MMU simulator — the "hardware" substrate.
+
+The paper measures a real Intel Haswell Xeon; this subpackage is the
+substitution: a µop-granularity functional simulator implementing the
+feature set the paper reverse-engineers, emitting ground-truth values
+for all 26 Table 2 HECs. Because feasibility testing is exact, what
+matters is that the *counting semantics* of each mechanism match the
+paper's discovered behaviour:
+
+* two-level TLB hierarchy (per-page-size L1 DTLB arrays + shared STLB),
+* four-level page table with 4 KB / 2 MB / 1 GB pages and accessed bits,
+* paging-structure caches: PDE cache, PDPTE cache and the discovered
+  root-level PML4E cache,
+* a page-table walker whose PTE loads traverse a real cache hierarchy
+  (producing ``walk_ref.{l1,l2,l3,mem}``),
+* MSHR-based page-table-walk merging, with the PDE cache probed *before*
+  MSHR allocation (the paper's pipelining discovery),
+* an LSQ-side TLB prefetcher triggered by consecutive loads to cache
+  lines 51/52 (ascending) or 8/7 (descending) before a predicted page
+  boundary; prefetch-induced walks inject real walker loads and abort on
+  PTE accessed bits that are unset,
+* walk replays ("walk bypassing"): some walks complete without visible
+  walker references.
+
+Every feature is individually toggleable (:class:`MMUConfig`) so
+ablation benchmarks can compare against feature-less baselines.
+"""
+
+from repro.mmu.config import MMUConfig, PAGE_SIZES, PageSize
+from repro.mmu.core import MemoryOp, MMUSimulator
+from repro.mmu.ablation import (
+    config_without,
+    counter_delta,
+    feature_ablations,
+    run_ablations,
+)
+
+__all__ = [
+    "MMUConfig",
+    "MMUSimulator",
+    "MemoryOp",
+    "PAGE_SIZES",
+    "PageSize",
+    "config_without",
+    "counter_delta",
+    "feature_ablations",
+    "run_ablations",
+]

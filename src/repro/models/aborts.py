@@ -1,0 +1,41 @@
+"""The a-series: translation-request aborts vs walk bypassing (§C.3).
+
+Starting from t0 (the representative trigger model), walk bypassing is
+*removed* and translation-request aborts are allowed at progressively
+more pipeline stages (Table 7). The paper finds none of these feasible:
+aborted requests never produce ``walk_done``, so they cannot explain
+observations whose completed walks outnumber walker references.
+"""
+
+from repro.models.features import M_SERIES, WALK_BYPASS
+from repro.models.haswell import (
+    ABORT_AFTER_L1TLB,
+    ABORT_AFTER_L2TLB,
+    ABORT_AFTER_PSC,
+    ABORT_DURING_WALK,
+    build_mudd,
+)
+from repro.models.prefetch_triggers import T_SERIES
+
+# Table 7: cumulative abort points per model.
+A_SERIES = {
+    "a0": (ABORT_DURING_WALK,),
+    "a1": (ABORT_DURING_WALK, ABORT_AFTER_PSC),
+    "a2": (ABORT_DURING_WALK, ABORT_AFTER_PSC, ABORT_AFTER_L2TLB),
+    "a3": (
+        ABORT_DURING_WALK,
+        ABORT_AFTER_PSC,
+        ABORT_AFTER_L2TLB,
+        ABORT_AFTER_L1TLB,
+    ),
+}
+
+
+def build_abort_mudd(abort_points, name=None):
+    """A t0 derivative: walk bypassing replaced by request aborts."""
+    features = M_SERIES["m4"] - {WALK_BYPASS}
+    if name is None:
+        name = "abort[%s]" % ",".join(abort_points)
+    return build_mudd(
+        features, trigger=T_SERIES["t0"], aborts=tuple(abort_points), name=name
+    )

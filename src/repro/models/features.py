@@ -1,0 +1,35 @@
+"""Microarchitectural feature flags and the Table 3 model zoo."""
+
+TLB_PF = "TlbPf"
+EARLY_PSC = "EarlyPsc"
+MERGING = "Merging"
+PML4E_CACHE = "Pml4eCache"
+WALK_BYPASS = "WalkBypass"
+
+FEATURES = (TLB_PF, EARLY_PSC, MERGING, PML4E_CACHE, WALK_BYPASS)
+
+# Table 3: the µDDs explored in the initial search, identified by their
+# feature sets. m4 (starred in the paper) and m8 are the feasible ones.
+M_SERIES = {
+    "m0": frozenset(),
+    "m1": frozenset({TLB_PF}),
+    "m2": frozenset({TLB_PF, EARLY_PSC, MERGING}),
+    "m3": frozenset({TLB_PF, EARLY_PSC, MERGING, PML4E_CACHE}),
+    "m4": frozenset({TLB_PF, EARLY_PSC, MERGING, PML4E_CACHE, WALK_BYPASS}),
+    "m5": frozenset({EARLY_PSC, MERGING, PML4E_CACHE, WALK_BYPASS}),
+    "m6": frozenset({TLB_PF, MERGING, PML4E_CACHE, WALK_BYPASS}),
+    "m7": frozenset({TLB_PF, EARLY_PSC, PML4E_CACHE, WALK_BYPASS}),
+    "m8": frozenset({TLB_PF, EARLY_PSC, MERGING, WALK_BYPASS}),
+    "m9": frozenset({EARLY_PSC, MERGING, WALK_BYPASS}),
+    "m10": frozenset({TLB_PF, MERGING, WALK_BYPASS}),
+    "m11": frozenset({TLB_PF, EARLY_PSC, WALK_BYPASS}),
+}
+
+# Descriptions straight out of Table 4.
+FEATURE_DESCRIPTIONS = {
+    TLB_PF: "Prefetches form an additional kind of translation request",
+    EARLY_PSC: "Paging structure caches are looked up before starting a walk",
+    MERGING: "Page table walks can be merged by an L2TLB MSHR",
+    PML4E_CACHE: "There exists a paging structure cache for the root (PML4E) level",
+    WALK_BYPASS: "Walks can complete without making visible memory accesses",
+}

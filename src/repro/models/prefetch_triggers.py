@@ -1,0 +1,87 @@
+"""The t-series: TLB-prefetch trigger-condition models (Appendix C.2).
+
+These models refine m4 by removing the abstract free-standing prefetch
+request type and attaching prefetch emission directly to the µop paths
+that could have triggered it. Table 6's candidate conditions:
+
+* ``speculative`` — prefetches may be triggered by purely speculative
+  µops (otherwise only retiring ones),
+* ``load`` / ``store`` — which µop kinds can trigger,
+* ``dtlb_miss`` / ``stlb_miss`` — the trigger fires from the demand miss
+  stream of that TLB level (otherwise it fires *before* any TLB lookup,
+  i.e. in the load/store queue).
+"""
+
+from repro.errors import ConfigurationError
+from repro.models.features import M_SERIES
+
+
+class TriggerSpec:
+    """A prefetch trigger condition (one Table 5 row)."""
+
+    __slots__ = ("speculative", "load", "store", "dtlb_miss", "stlb_miss")
+
+    def __init__(self, speculative, load, store, dtlb_miss=False, stlb_miss=False):
+        if not (load or store):
+            raise ConfigurationError("a trigger needs at least one µop kind")
+        if dtlb_miss and stlb_miss:
+            raise ConfigurationError(
+                "dtlb_miss and stlb_miss trigger points are mutually exclusive"
+            )
+        self.speculative = speculative
+        self.load = load
+        self.store = store
+        self.dtlb_miss = dtlb_miss
+        self.stlb_miss = stlb_miss
+
+    def _key(self):
+        return (self.speculative, self.load, self.store, self.dtlb_miss, self.stlb_miss)
+
+    def __eq__(self, other):
+        if not isinstance(other, TriggerSpec):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self):
+        return hash(self._key())
+
+    def __repr__(self):
+        parts = []
+        if self.speculative:
+            parts.append("spec")
+        if self.load:
+            parts.append("load")
+        if self.store:
+            parts.append("store")
+        if self.dtlb_miss:
+            parts.append("dtlb-miss")
+        if self.stlb_miss:
+            parts.append("stlb-miss")
+        return "TriggerSpec(%s)" % "+".join(parts)
+
+
+def _series():
+    """Table 5's eighteen trigger models."""
+    table = {}
+    index = 0
+    for speculative in (True, False):
+        for load, store in ((True, False), (False, True), (True, True)):
+            for dtlb, stlb in ((False, False), (True, False), (False, True)):
+                table["t%d" % index] = TriggerSpec(
+                    speculative, load, store, dtlb_miss=dtlb, stlb_miss=stlb
+                )
+                index += 1
+    return table
+
+
+T_SERIES = _series()
+
+
+def build_trigger_mudd(spec, name=None):
+    """A t-series µDD: m4's feature set with prefetches attached to
+    their triggering µop paths per ``spec``."""
+    from repro.models.haswell import build_mudd
+
+    if name is None:
+        name = "trigger[%r]" % (spec,)
+    return build_mudd(M_SERIES["m4"], trigger=spec, name=name)

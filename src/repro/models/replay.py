@@ -1,0 +1,46 @@
+"""The Appendix C.4 walk-replay model.
+
+Replaces t0's opaque "walk bypassing" with the mechanism an Intel patent
+describes: speculative walks can be aborted (e.g. on unset
+accessed/dirty bits) and replayed at µop retirement; the replay's
+memory references are non-speculative and are not captured by the
+``walk_ref`` counters. Counter-wise a replayed walk therefore completes
+with zero visible references — the same signatures as walk bypassing —
+*plus* abort paths for the speculative first attempt.
+
+The paper's finding, which the Table 3/5 benchmarks reproduce: this
+model is feasible, but only while merging (and the other discovered
+features) remain in the model.
+"""
+
+from repro.errors import ConfigurationError
+from repro.models.features import M_SERIES, MERGING, TLB_PF, WALK_BYPASS
+from repro.models.haswell import ABORT_DURING_WALK, build_mudd
+from repro.models.prefetch_triggers import T_SERIES
+
+
+def build_replay_mudd(include_merging=True, include_prefetch=True, name=None):
+    """The walk-replay model, optionally ablating other features.
+
+    ``include_merging=False`` reproduces the paper's observation that
+    removing miss-merging makes the replay model infeasible.
+    """
+    features = set(M_SERIES["m4"])
+    # WalkBypass stays: replayed walks complete with no visible refs —
+    # the replay mechanism *explains* bypassing rather than removing it.
+    if WALK_BYPASS not in features:
+        raise ConfigurationError("m4 must include WalkBypass")
+    if not include_merging:
+        features.discard(MERGING)
+    trigger = T_SERIES["t0"]
+    if not include_prefetch:
+        features.discard(TLB_PF)
+        trigger = None
+    if name is None:
+        name = "replay[merging=%s,prefetch=%s]" % (include_merging, include_prefetch)
+    return build_mudd(
+        features,
+        trigger=trigger,
+        aborts=(ABORT_DURING_WALK,),
+        name=name,
+    )

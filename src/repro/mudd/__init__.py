@@ -1,0 +1,57 @@
+"""µpath Decision Diagrams (µDDs) — the paper's model representation.
+
+A µDD (Section 3) is a DAG describing the microarchitectural execution
+paths (*µpaths*) a µop may take, and which hardware event counters each
+path increments. This subpackage provides:
+
+* :mod:`repro.mudd.graph` — the node/edge data structure
+  (:class:`MuDD`) with structural validation,
+* :mod:`repro.mudd.program` — a combinator AST (:class:`Seq`,
+  :class:`Incr`, :class:`Do`, :class:`Switch`, :class:`Done`,
+  :class:`Pass`) shared by the DSL compiler and the programmatic model
+  builders in :mod:`repro.models`, plus :func:`compile_program`,
+* :mod:`repro.mudd.paths` — µpath enumeration and counter-signature
+  extraction (:func:`enumerate_mupaths`, :func:`signature_matrix`).
+"""
+
+from repro.mudd.graph import (
+    COUNTER,
+    DECISION,
+    END,
+    EVENT,
+    START,
+    Edge,
+    MuDD,
+    Node,
+)
+from repro.mudd.program import (
+    Do,
+    Done,
+    Incr,
+    Pass,
+    Seq,
+    Switch,
+    compile_program,
+)
+from repro.mudd.paths import MuPath, enumerate_mupaths, signature_matrix
+
+__all__ = [
+    "COUNTER",
+    "DECISION",
+    "Do",
+    "Done",
+    "Edge",
+    "END",
+    "EVENT",
+    "Incr",
+    "MuDD",
+    "MuPath",
+    "Node",
+    "Pass",
+    "Seq",
+    "START",
+    "Switch",
+    "compile_program",
+    "enumerate_mupaths",
+    "signature_matrix",
+]

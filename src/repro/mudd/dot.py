@@ -1,0 +1,58 @@
+"""Graphviz export for µDDs (the paper's Figure 4 drawings).
+
+:func:`to_dot` renders a µDD in Graphviz ``dot`` syntax using the
+paper's visual vocabulary: green boxes for events, blue pills for
+counters, diamonds for decisions, labelled edges for decision values
+and dashed edges for happens-before ordering.
+"""
+
+from repro.errors import MuDDError
+from repro.mudd.graph import COUNTER, DECISION, END, EVENT, START, MuDD
+
+_SHAPES = {
+    START: ('shape=circle, label="START"', None),
+    END: ('shape=doublecircle, label="END"', None),
+    EVENT: ("shape=box, style=filled, fillcolor=palegreen", "label"),
+    COUNTER: ("shape=box, style='rounded,filled', fillcolor=lightblue", "label"),
+    DECISION: ("shape=diamond, style=filled, fillcolor=lightyellow", "label"),
+}
+
+
+def _escape(text):
+    return str(text).replace('"', '\\"')
+
+
+def to_dot(mudd, graph_name=None):
+    """Render a µDD as Graphviz dot text."""
+    if not isinstance(mudd, MuDD):
+        raise MuDDError("to_dot expects a MuDD")
+    graph_name = graph_name or mudd.name or "mudd"
+    lines = ['digraph "%s" {' % _escape(graph_name)]
+    lines.append("  rankdir=TB;")
+    for node_id in sorted(mudd.nodes):
+        node = mudd.nodes[node_id]
+        attributes, label_kind = _SHAPES[node.kind]
+        if label_kind == "label":
+            attributes = '%s, label="%s"' % (attributes, _escape(node.label))
+        lines.append('  "%s" [%s];' % (_escape(node_id), attributes))
+    for edge in mudd.edges:
+        if edge.value is not None:
+            lines.append(
+                '  "%s" -> "%s" [label="%s"];'
+                % (_escape(edge.source), _escape(edge.target), _escape(edge.value))
+            )
+        else:
+            lines.append('  "%s" -> "%s";' % (_escape(edge.source), _escape(edge.target)))
+    for earlier, later in mudd.happens_before:
+        lines.append(
+            '  "%s" -> "%s" [style=dashed, color=gray, constraint=false];'
+            % (_escape(earlier), _escape(later))
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def write_dot(mudd, path, graph_name=None):
+    """Write :func:`to_dot` output to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_dot(mudd, graph_name=graph_name))

@@ -1,0 +1,192 @@
+"""µpath enumeration and counter signatures.
+
+A *µpath* (Section 3) is one complete walk from START to an END node,
+together with the property assignments that selected its branches. Its
+*counter signature* records how many times each HEC is incremented along
+the walk — the vectors that generate the model cone.
+
+Enumeration follows the paper's traversal rule: at a decision node whose
+property was already assigned earlier on the path, the matching branch is
+followed; otherwise each labelled branch spawns a separate µpath.
+"""
+
+from repro.errors import MuDDError
+from repro.mudd.graph import COUNTER, DECISION, END, MuDD
+
+
+class MuPath:
+    """One microarchitectural execution path through a µDD."""
+
+    __slots__ = ("node_ids", "assignments", "counter_counts")
+
+    def __init__(self, node_ids, assignments, counter_counts):
+        self.node_ids = tuple(node_ids)
+        self.assignments = dict(assignments)
+        self.counter_counts = dict(counter_counts)
+
+    def signature(self, counters):
+        """Counter signature as a tuple aligned with ``counters``."""
+        return tuple(self.counter_counts.get(name, 0) for name in counters)
+
+    def events(self, mudd):
+        """Event and counter labels along the path, in order."""
+        labels = []
+        for node_id in self.node_ids:
+            node = mudd.nodes[node_id]
+            if node.label is not None:
+                labels.append(node.label)
+        return labels
+
+    def __repr__(self):
+        return "MuPath(%d nodes, assignments=%r)" % (len(self.node_ids), self.assignments)
+
+
+def enumerate_mupaths(mudd, max_paths=100000):
+    """Enumerate every µpath of ``mudd``.
+
+    Raises :class:`MuDDError` when a decision is reached whose property
+    was assigned a value with no matching branch (a modelling bug), or
+    when the number of paths exceeds ``max_paths``.
+    """
+    if not isinstance(mudd, MuDD):
+        raise MuDDError("enumerate_mupaths expects a MuDD")
+    start = mudd.start_node()
+    paths = []
+    # Depth-first with explicit stack: (node_id, path_nodes, assignments, counts)
+    stack = [(start.node_id, [start.node_id], {}, {})]
+    while stack:
+        node_id, path_nodes, assignments, counts = stack.pop()
+        node = mudd.nodes[node_id]
+        if node.kind == END:
+            paths.append(MuPath(path_nodes, assignments, counts))
+            if len(paths) > max_paths:
+                raise MuDDError("µDD has more than %d µpaths" % (max_paths,))
+            continue
+        out = mudd.out_edges(node_id)
+        if node.kind == DECISION:
+            assigned = assignments.get(node.label)
+            if assigned is not None:
+                matching = [edge for edge in out if edge.value == assigned]
+                if not matching:
+                    raise MuDDError(
+                        "decision %r has no branch for value %r assigned earlier"
+                        % (node.label, assigned)
+                    )
+                edges_to_follow = [(matching[0], assignments)]
+            else:
+                edges_to_follow = []
+                for edge in out:
+                    branch_assignments = dict(assignments)
+                    branch_assignments[node.label] = edge.value
+                    edges_to_follow.append((edge, branch_assignments))
+        else:
+            if len(out) != 1:
+                raise MuDDError(
+                    "non-decision node %r must have exactly one outgoing edge" % (node_id,)
+                )
+            edges_to_follow = [(out[0], assignments)]
+
+        for edge, branch_assignments in edges_to_follow:
+            target = mudd.nodes[edge.target]
+            branch_counts = counts
+            if target.kind == COUNTER:
+                branch_counts = dict(counts)
+                branch_counts[target.label] = branch_counts.get(target.label, 0) + 1
+            stack.append(
+                (
+                    edge.target,
+                    path_nodes + [edge.target],
+                    branch_assignments,
+                    branch_counts,
+                )
+            )
+    return paths
+
+
+def iter_signatures(mudd, counters, max_paths=2000000):
+    """Yield the counter signature of every µpath, without materialising
+    node lists — the fast path for large models (the full Haswell µDDs
+    enumerate tens of thousands of raw paths before deduplication).
+    """
+    if not isinstance(mudd, MuDD):
+        raise MuDDError("iter_signatures expects a MuDD")
+    index = {name: position for position, name in enumerate(counters)}
+    start = mudd.start_node()
+    produced = 0
+    stack = [(start.node_id, {}, (0,) * len(counters))]
+    while stack:
+        node_id, assignments, signature = stack.pop()
+        node = mudd.nodes[node_id]
+        if node.kind == END:
+            produced += 1
+            if produced > max_paths:
+                raise MuDDError("µDD has more than %d µpaths" % (max_paths,))
+            yield signature
+            continue
+        out = mudd.out_edges(node_id)
+        if node.kind == DECISION:
+            assigned = assignments.get(node.label)
+            if assigned is not None:
+                matching = [edge for edge in out if edge.value == assigned]
+                if not matching:
+                    raise MuDDError(
+                        "decision %r has no branch for value %r assigned earlier"
+                        % (node.label, assigned)
+                    )
+                follow = [(matching[0], assignments)]
+            else:
+                follow = []
+                for edge in out:
+                    branch = dict(assignments)
+                    branch[node.label] = edge.value
+                    follow.append((edge, branch))
+        else:
+            if len(out) != 1:
+                raise MuDDError(
+                    "non-decision node %r must have exactly one outgoing edge" % (node_id,)
+                )
+            follow = [(out[0], assignments)]
+        for edge, branch_assignments in follow:
+            target = mudd.nodes[edge.target]
+            branch_signature = signature
+            if target.kind == COUNTER:
+                position = index.get(target.label)
+                if position is not None:
+                    updated = list(signature)
+                    updated[position] += 1
+                    branch_signature = tuple(updated)
+            stack.append((edge.target, branch_assignments, branch_signature))
+
+
+def signature_matrix(mudd, counters=None, max_paths=2000000, deduplicate=True):
+    """Counter signatures of every µpath.
+
+    Parameters
+    ----------
+    mudd:
+        The µDD to analyse.
+    counters:
+        Counter-name ordering for the signature vectors. Defaults to the
+        µDD's own counters. Names absent from the µDD yield a zero column
+        — a deliberate modelling statement that the µDD claims the
+        counter never increments.
+    deduplicate:
+        Merge µpaths with identical signatures (they generate the same
+        ray of the model cone).
+
+    Returns
+    -------
+    ``(counters, signatures)`` where ``signatures`` is a list of integer
+    tuples, one per (deduplicated) µpath.
+    """
+    if counters is None:
+        counters = mudd.counters
+    signatures = []
+    seen = set()
+    for signature in iter_signatures(mudd, counters, max_paths=max_paths):
+        if deduplicate:
+            if signature in seen:
+                continue
+            seen.add(signature)
+        signatures.append(signature)
+    return list(counters), signatures

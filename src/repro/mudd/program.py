@@ -1,0 +1,183 @@
+"""Combinator AST for µDD construction.
+
+The paper's DSL (Section 6) and our programmatic model builders (the
+Haswell model library) both need to describe "what a µop does": increment
+counters, raise events, branch on microarchitectural properties,
+terminate. This module is the shared intermediate representation:
+
+* :class:`Incr` — increment a hardware event counter,
+* :class:`Do` — a plain microarchitectural event,
+* :class:`Switch` — branch on a property (C-style switch in the DSL),
+* :class:`Pass` — no-op branch body,
+* :class:`Done` — terminate the µpath (connect to END),
+* :class:`Seq` — sequential composition.
+
+:func:`compile_program` lowers a program to a validated :class:`MuDD`.
+Branches of a :class:`Switch` that do not terminate with :class:`Done`
+re-join the continuation, so models read like structured code while the
+µDD remains a DAG.
+"""
+
+from repro.errors import MuDDError
+from repro.mudd.graph import COUNTER, DECISION, END, EVENT, START, MuDD
+
+
+class Statement:
+    """Base class for program statements (useful for isinstance checks)."""
+
+    __slots__ = ()
+
+
+class Incr(Statement):
+    """Increment counter ``counter_name`` once."""
+
+    __slots__ = ("counter_name",)
+
+    def __init__(self, counter_name):
+        if not counter_name:
+            raise MuDDError("Incr requires a counter name")
+        self.counter_name = counter_name
+
+    def __repr__(self):
+        return "Incr(%r)" % (self.counter_name,)
+
+
+class Do(Statement):
+    """A standard (non-counter) microarchitectural event."""
+
+    __slots__ = ("event_name",)
+
+    def __init__(self, event_name):
+        if not event_name:
+            raise MuDDError("Do requires an event name")
+        self.event_name = event_name
+
+    def __repr__(self):
+        return "Do(%r)" % (self.event_name,)
+
+
+class Pass(Statement):
+    """No-op (used for empty switch branches)."""
+
+    __slots__ = ()
+
+    def __repr__(self):
+        return "Pass()"
+
+
+class Done(Statement):
+    """Terminate the µpath here."""
+
+    __slots__ = ()
+
+    def __repr__(self):
+        return "Done()"
+
+
+class Seq(Statement):
+    """Sequential composition of statements."""
+
+    __slots__ = ("statements",)
+
+    def __init__(self, statements):
+        self.statements = list(statements)
+        for statement in self.statements:
+            if not isinstance(statement, Statement):
+                raise MuDDError("Seq items must be Statements, got %r" % (statement,))
+
+    def __repr__(self):
+        return "Seq(%r)" % (self.statements,)
+
+
+class Switch(Statement):
+    """Branch on microarchitectural property ``property_name``.
+
+    ``branches`` maps each property value (string) to a Statement. At
+    µpath-enumeration time, if the property was already assigned earlier
+    on the path only the matching branch is followed; otherwise each
+    branch spawns a distinct µpath (Section 3's traversal rule).
+    """
+
+    __slots__ = ("property_name", "branches")
+
+    def __init__(self, property_name, branches):
+        if not property_name:
+            raise MuDDError("Switch requires a property name")
+        if not branches:
+            raise MuDDError("Switch %r has no branches" % (property_name,))
+        self.property_name = property_name
+        self.branches = dict(branches)
+        for value, body in self.branches.items():
+            if not isinstance(body, Statement):
+                raise MuDDError(
+                    "branch %r of switch %r must be a Statement" % (value, property_name)
+                )
+
+    def __repr__(self):
+        return "Switch(%r, %r)" % (self.property_name, self.branches)
+
+
+def compile_program(program, name="model"):
+    """Lower a program AST to a validated :class:`MuDD`.
+
+    A single shared END node collects every terminating path (both
+    explicit :class:`Done` statements and the natural end of the
+    program).
+    """
+    if not isinstance(program, Statement):
+        raise MuDDError("compile_program expects a Statement")
+    mudd = MuDD(name=name)
+    start_id = mudd.add_node(START)
+    end_id = mudd.add_node(END)
+
+    def connect(sources, target):
+        """Connect every open tail in ``sources`` to ``target``."""
+        for source_id, value in sources:
+            mudd.add_edge(source_id, target, value=value)
+
+    def emit(statement, open_tails):
+        """Compile ``statement`` with the given incoming open tails.
+
+        ``open_tails`` is a list of ``(node_id, edge_value)`` pairs that
+        should be connected to whatever node the statement starts with.
+        Returns the new open tails after the statement (empty when every
+        path terminated with Done).
+        """
+        if not open_tails:
+            raise MuDDError("unreachable statement after done: %r" % (statement,))
+        if isinstance(statement, Pass):
+            return open_tails
+        if isinstance(statement, Done):
+            connect(open_tails, end_id)
+            return []
+        if isinstance(statement, Incr):
+            node_id = mudd.add_node(COUNTER, label=statement.counter_name)
+            connect(open_tails, node_id)
+            return [(node_id, None)]
+        if isinstance(statement, Do):
+            node_id = mudd.add_node(EVENT, label=statement.event_name)
+            connect(open_tails, node_id)
+            return [(node_id, None)]
+        if isinstance(statement, Seq):
+            tails = open_tails
+            for index, inner in enumerate(statement.statements):
+                if not tails:
+                    raise MuDDError(
+                        "statement %d of Seq is unreachable (all paths done)" % index
+                    )
+                tails = emit(inner, tails)
+            return tails
+        if isinstance(statement, Switch):
+            node_id = mudd.add_node(DECISION, label=statement.property_name)
+            connect(open_tails, node_id)
+            tails = []
+            for value, body in statement.branches.items():
+                tails.extend(emit(body, [(node_id, value)]))
+            return tails
+        raise MuDDError("unknown statement type %r" % (statement,))
+
+    remaining = emit(program, [(start_id, None)])
+    if remaining:
+        connect(remaining, end_id)
+    mudd.validate()
+    return mudd

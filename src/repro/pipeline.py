@@ -1,0 +1,149 @@
+"""The high-level CounterPoint pipeline (Figure 2).
+
+:class:`CounterPoint` ties the layers together: model specification
+(DSL source or µDD) → model cone → counter confidence regions →
+feasibility testing → violation reporting. It is the API the examples
+and benchmarks drive.
+"""
+
+from repro.cone import (
+    ModelCone,
+    identify_violations,
+    test_point_feasibility,
+    test_region_feasibility,
+)
+from repro.dsl import compile_dsl
+from repro.errors import AnalysisError
+from repro.mudd import MuDD
+
+
+class AnalysisReport:
+    """Outcome of analysing one observation against one model."""
+
+    def __init__(self, model_name, feasible, violations, witness=None):
+        self.model_name = model_name
+        self.feasible = feasible
+        self.violations = violations
+        self.witness = witness
+
+    def summary(self):
+        if self.feasible:
+            return "%s: feasible" % (self.model_name,)
+        lines = ["%s: INFEASIBLE (%d violated constraints)" % (
+            self.model_name,
+            len(self.violations),
+        )]
+        for violation in self.violations:
+            lines.append("  " + violation.render())
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "AnalysisReport(%r, feasible=%r)" % (self.model_name, self.feasible)
+
+
+class ModelSweep:
+    """Outcome of evaluating one model against many observations."""
+
+    def __init__(self, model_name, infeasible_names, n_observations):
+        self.model_name = model_name
+        self.infeasible_names = list(infeasible_names)
+        self.n_observations = n_observations
+
+    @property
+    def n_infeasible(self):
+        return len(self.infeasible_names)
+
+    @property
+    def feasible(self):
+        return not self.infeasible_names
+
+    def __repr__(self):
+        return "ModelSweep(%r: %d/%d infeasible)" % (
+            self.model_name,
+            self.n_infeasible,
+            self.n_observations,
+        )
+
+
+class CounterPoint:
+    """Facade over the CounterPoint analysis pipeline.
+
+    Parameters
+    ----------
+    counters:
+        Counter ordering for model cones built from µDDs; defaults to
+        each µDD's own counters.
+    backend:
+        LP backend: ``"exact"`` (rational simplex; exact verdicts) or
+        ``"scipy"`` (HiGHS; fast sweeps).
+    confidence:
+        Confidence level for regions built from sample matrices.
+    """
+
+    def __init__(self, counters=None, backend="exact", confidence=0.99):
+        self.counters = counters
+        self.backend = backend
+        self.confidence = confidence
+
+    # -- model ingestion ---------------------------------------------------
+    def model_cone(self, model):
+        """Accepts DSL source, a µDD, or a ready ModelCone."""
+        if isinstance(model, ModelCone):
+            return model
+        if isinstance(model, MuDD):
+            return ModelCone.from_mudd(model, counters=self.counters)
+        if isinstance(model, str):
+            return ModelCone.from_mudd(
+                compile_dsl(model), counters=self.counters
+            )
+        raise AnalysisError("cannot interpret %r as a model" % (type(model).__name__,))
+
+    # -- single-observation analysis ---------------------------------------
+    def analyze(self, model, observation):
+        """Test one observation (point or region) against one model.
+
+        Returns an :class:`AnalysisReport`; when infeasible, the report
+        carries the violated model constraints (the expensive constraint
+        deduction runs only in that case, mirroring the paper).
+        """
+        cone = self.model_cone(model)
+        if hasattr(observation, "box_constraints"):
+            result = test_region_feasibility(cone, observation, backend=self.backend)
+        else:
+            result = test_point_feasibility(cone, observation, backend=self.backend)
+        violations = []
+        if not result.feasible:
+            violations = identify_violations(cone, observation, backend=self.backend)
+        return AnalysisReport(cone.name, result.feasible, violations, witness=result.witness)
+
+    # -- dataset sweeps -------------------------------------------------------
+    def sweep(self, model, observations, use_regions=False, correlated=True):
+        """Evaluate a model against a dataset of observations.
+
+        ``use_regions=True`` summarises each observation's samples as a
+        confidence region (correlated or independent) instead of using
+        exact totals.
+        """
+        cone = self.model_cone(model)
+        infeasible = []
+        for observation in observations:
+            if use_regions:
+                region = observation.region(
+                    confidence=self.confidence, correlated=correlated
+                )
+                result = test_region_feasibility(cone, region, backend=self.backend)
+            else:
+                result = test_point_feasibility(
+                    cone, observation.point(), backend=self.backend
+                )
+            if not result.feasible:
+                infeasible.append(observation.name)
+        return ModelSweep(cone.name, infeasible, len(list(observations)))
+
+    def compare(self, models, observations, **sweep_options):
+        """Sweep several models; returns ``{model_name: ModelSweep}``."""
+        results = {}
+        for model in models:
+            sweep = self.sweep(model, observations, **sweep_options)
+            results[sweep.model_name] = sweep
+        return results

@@ -1,0 +1,38 @@
+"""Statistics for noisy HEC measurements (Section 4 of the paper).
+
+Multiplexing makes HEC observations approximate; CounterPoint treats
+each program execution as a set of time-interval samples and summarises
+them as a *counter confidence region* — a confidence ellipsoid of the
+sample mean, approximated by its PCA-aligned bounding box so it can be
+encoded in a linear program.
+
+* :mod:`repro.stats.chi2` — the chi-square quantile function, written
+  from scratch (regularised incomplete gamma + bracketed Newton) and
+  cross-checked against scipy in the test suite,
+* :mod:`repro.stats.covariance` — sample mean / covariance / Pearson
+  correlation over time-series sample matrices,
+* :mod:`repro.stats.confidence` — :class:`ConfidenceRegion`
+  (correlated, the paper's contribution) and the independent-counter
+  baseline it is compared against (Figure 3d).
+"""
+
+from repro.stats.chi2 import chi2_quantile, gammainc_lower_regularized
+from repro.stats.covariance import (
+    pearson_correlation_matrix,
+    sample_covariance,
+    sample_mean,
+)
+from repro.stats.confidence import ConfidenceRegion, PointRegion
+from repro.stats.shrinkage import ledoit_wolf_delta, shrink_covariance
+
+__all__ = [
+    "ConfidenceRegion",
+    "PointRegion",
+    "chi2_quantile",
+    "gammainc_lower_regularized",
+    "ledoit_wolf_delta",
+    "pearson_correlation_matrix",
+    "sample_covariance",
+    "sample_mean",
+    "shrink_covariance",
+]

@@ -1,0 +1,167 @@
+"""Chi-square quantiles from first principles.
+
+The confidence-region construction needs the chi-square quantile
+``chi2_quantile(confidence, dof)`` (the paper's ``chi^2_{N, alpha}``).
+We implement it from scratch — the regularised lower incomplete gamma
+function via its series and continued-fraction expansions (the classic
+`gammp` construction) and quantile inversion by a bisection-safeguarded
+Newton iteration — and cross-check against ``scipy.stats.chi2.ppf`` in
+the test suite.
+"""
+
+import math
+
+from repro.errors import StatsError
+
+_MAX_ITERATIONS = 500
+_EPSILON = 3.0e-15
+
+
+def _gamma_series(a, x):
+    """Series representation of the regularised lower incomplete gamma."""
+    gln = math.lgamma(a)
+    term = 1.0 / a
+    total = term
+    ap = a
+    for _ in range(_MAX_ITERATIONS):
+        ap += 1.0
+        term *= x / ap
+        total += term
+        if abs(term) < abs(total) * _EPSILON:
+            return total * math.exp(-x + a * math.log(x) - gln)
+    raise StatsError("gamma series failed to converge (a=%r, x=%r)" % (a, x))
+
+
+def _gamma_continued_fraction(a, x):
+    """Continued-fraction representation of the regularised *upper*
+    incomplete gamma (modified Lentz)."""
+    gln = math.lgamma(a)
+    tiny = 1.0e-300
+    b = x + 1.0 - a
+    c = 1.0 / tiny
+    d = 1.0 / b
+    h = d
+    for i in range(1, _MAX_ITERATIONS + 1):
+        an = -i * (i - a)
+        b += 2.0
+        d = an * d + b
+        if abs(d) < tiny:
+            d = tiny
+        c = b + an / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < _EPSILON:
+            return h * math.exp(-x + a * math.log(x) - gln)
+    raise StatsError("gamma continued fraction failed to converge (a=%r, x=%r)" % (a, x))
+
+
+def gammainc_lower_regularized(a, x):
+    """Regularised lower incomplete gamma ``P(a, x)`` for ``a > 0``."""
+    if a <= 0:
+        raise StatsError("gammainc requires a > 0, got %r" % (a,))
+    if x < 0:
+        raise StatsError("gammainc requires x >= 0, got %r" % (x,))
+    if x == 0:
+        return 0.0
+    if x < a + 1.0:
+        return _gamma_series(a, x)
+    return 1.0 - _gamma_continued_fraction(a, x)
+
+
+def chi2_cdf(x, dof):
+    """CDF of the chi-square distribution with ``dof`` degrees of freedom."""
+    if dof <= 0:
+        raise StatsError("chi2 dof must be positive, got %r" % (dof,))
+    if x <= 0:
+        return 0.0
+    return gammainc_lower_regularized(dof / 2.0, x / 2.0)
+
+
+def chi2_pdf(x, dof):
+    """Density of the chi-square distribution (used by Newton steps)."""
+    if x <= 0:
+        return 0.0
+    half = dof / 2.0
+    return math.exp(
+        (half - 1.0) * math.log(x) - x / 2.0 - half * math.log(2.0) - math.lgamma(half)
+    )
+
+
+def chi2_quantile(confidence, dof):
+    """Quantile ``x`` with ``P(chi2_dof <= x) == confidence``.
+
+    Uses the Wilson–Hilferty approximation as a starting point and a
+    bisection-safeguarded Newton iteration on the CDF.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise StatsError("confidence must be in (0, 1), got %r" % (confidence,))
+    if dof <= 0:
+        raise StatsError("chi2 dof must be positive, got %r" % (dof,))
+
+    # Wilson–Hilferty initial guess.
+    z = _normal_quantile(confidence)
+    guess = dof * (1.0 - 2.0 / (9.0 * dof) + z * math.sqrt(2.0 / (9.0 * dof))) ** 3
+    guess = max(guess, 1e-10)
+
+    # Bracket the root.
+    low, high = 0.0, max(guess * 2.0, 1.0)
+    for _ in range(200):
+        if chi2_cdf(high, dof) >= confidence:
+            break
+        high *= 2.0
+    else:
+        raise StatsError("failed to bracket chi2 quantile")
+
+    x = min(max(guess, low + 1e-12), high)
+    for _ in range(100):
+        cdf = chi2_cdf(x, dof)
+        error = cdf - confidence
+        if abs(error) < 1e-13:
+            return x
+        if error > 0:
+            high = x
+        else:
+            low = x
+        pdf = chi2_pdf(x, dof)
+        if pdf > 0:
+            step = x - error / pdf
+        else:
+            step = (low + high) / 2.0
+        if not low < step < high:
+            step = (low + high) / 2.0
+        x = step
+    return x
+
+
+def _normal_quantile(p):
+    """Standard normal quantile (Acklam's rational approximation)."""
+    if not 0.0 < p < 1.0:
+        raise StatsError("normal quantile requires p in (0, 1)")
+    # Coefficients for the central and tail regions.
+    a = [-3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+         1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00]
+    b = [-5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+         6.680131188771972e01, -1.328068155288572e01]
+    c = [-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+         -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00]
+    d = [7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+         3.754408661907416e00]
+    p_low = 0.02425
+    if p < p_low:
+        q = math.sqrt(-2.0 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
+        )
+    if p > 1.0 - p_low:
+        q = math.sqrt(-2.0 * math.log(1.0 - p))
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
+        )
+    q = p - 0.5
+    r = q * q
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / (
+        ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0
+    )

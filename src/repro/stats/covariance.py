@@ -1,0 +1,87 @@
+"""Sample statistics over HEC time-series sample matrices.
+
+A measurement run produces ``M`` interval samples of ``N`` counters —
+an ``M x N`` matrix (rows are time slices, columns are counters,
+mirroring what ``perf stat -I`` emits). These helpers compute the
+summary statistics the confidence-region construction needs, plus the
+Pearson correlation matrix used for the paper's Section 7.1 claim that
+HECs are highly correlated.
+"""
+
+import numpy as np
+
+from repro.errors import StatsError
+
+
+def _as_sample_matrix(samples):
+    matrix = np.asarray(samples, dtype=float)
+    if matrix.ndim == 1:
+        matrix = matrix.reshape(-1, 1)
+    if matrix.ndim != 2:
+        raise StatsError("samples must be a 2-D matrix (M samples x N counters)")
+    if matrix.shape[0] < 2:
+        raise StatsError(
+            "need at least 2 samples to estimate covariance, got %d" % matrix.shape[0]
+        )
+    return matrix
+
+
+def sample_mean(samples):
+    """Column means of the sample matrix (the HEC vector ``Y-bar``)."""
+    return _as_sample_matrix(samples).mean(axis=0)
+
+
+def sample_covariance(samples):
+    """Unbiased (``ddof=1``) sample covariance matrix ``Sigma_Y``.
+
+    The *sample-mean* covariance the confidence region needs is the
+    plug-in estimate ``Sigma_Y / M`` (Section 4); that division happens
+    in :class:`repro.stats.ConfidenceRegion`.
+    """
+    matrix = _as_sample_matrix(samples)
+    return np.cov(matrix, rowvar=False, ddof=1).reshape(
+        matrix.shape[1], matrix.shape[1]
+    )
+
+
+def pearson_correlation_matrix(samples):
+    """Pearson correlation coefficients between counter pairs.
+
+    Constant columns (zero variance) correlate as 0 with everything and
+    1 with themselves, rather than propagating NaNs.
+    """
+    matrix = _as_sample_matrix(samples)
+    n = matrix.shape[1]
+    covariance = sample_covariance(samples)
+    stddev = np.sqrt(np.diag(covariance))
+    correlation = np.eye(n)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if stddev[i] == 0 or stddev[j] == 0:
+                value = 0.0
+            else:
+                value = covariance[i, j] / (stddev[i] * stddev[j])
+                value = float(np.clip(value, -1.0, 1.0))
+            correlation[i, j] = value
+            correlation[j, i] = value
+    return correlation
+
+
+def highly_correlated_fraction(samples, threshold=0.9):
+    """Fraction of distinct counter pairs with ``|r| > threshold``.
+
+    Reproduces the paper's Section 7.1 statistic ("over 25% of counter
+    pairs have a Pearson correlation coefficient that exceeds 0.9").
+    """
+    correlation = pearson_correlation_matrix(samples)
+    n = correlation.shape[0]
+    if n < 2:
+        raise StatsError("need at least 2 counters to correlate")
+    pairs = 0
+    hot = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            pairs += 1
+            if abs(correlation[i, j]) > threshold:
+                hot += 1
+    return hot / pairs

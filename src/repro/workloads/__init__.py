@@ -1,0 +1,39 @@
+"""Workload generators — the measurement stimuli.
+
+The paper stresses the Haswell MMU with GAPBS / SPEC2006 / PARSEC / YCSB
+plus two parameterised microbenchmarks (linear and random access
+patterns), sweeping memory footprints and page sizes. We cannot run
+those binaries, so this subpackage generates synthetic µop address
+streams with the same knobs and the same MMU-relevant behaviours:
+
+* :class:`LinearAccessWorkload` — the paper's linear microbenchmark
+  (footprint, stride, load-store ratio, direction, fresh vs revisit
+  passes). Stride-64 ascending passes are the prefetcher's trigger
+  pattern; its ablation is what the paper says is essential for
+  reverse-engineering the prefetchers.
+* :class:`RandomAccessWorkload` — the random microbenchmark (footprint,
+  load-store ratio).
+* Suite-flavoured generators (:mod:`repro.workloads.suites`): BFS-like
+  frontier traversal (GAPBS), pointer chasing with speculative wrong-path
+  µops (SPEC-like), streaming (PARSEC-like) and Zipfian key-value
+  accesses (YCSB-like).
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.microbench import LinearAccessWorkload, RandomAccessWorkload
+from repro.workloads.suites import (
+    BfsWorkload,
+    PointerChaseWorkload,
+    StreamWorkload,
+    ZipfianKVWorkload,
+)
+
+__all__ = [
+    "BfsWorkload",
+    "LinearAccessWorkload",
+    "PointerChaseWorkload",
+    "RandomAccessWorkload",
+    "StreamWorkload",
+    "Workload",
+    "ZipfianKVWorkload",
+]

@@ -1,0 +1,66 @@
+"""Workload base class: deterministic µop address-stream generators."""
+
+from repro.errors import SimulationError
+from repro.mmu.core import MemoryOp
+
+
+class Workload:
+    """Base class for deterministic workload generators.
+
+    Subclasses implement :meth:`addresses`, yielding ``(kind, vaddr,
+    retires)`` triples or ``(kind, vaddr)`` pairs (retiring by default).
+    The base class wraps them into :class:`MemoryOp` and enforces the
+    op budget.
+    """
+
+    name = "workload"
+
+    def __init__(self, footprint_bytes, seed=0):
+        if footprint_bytes <= 0:
+            raise SimulationError("footprint must be positive")
+        self.footprint_bytes = footprint_bytes
+        self.seed = seed
+
+    def addresses(self, n_ops):
+        """Yield up to ``n_ops`` access descriptors."""
+        raise NotImplementedError
+
+    def ops(self, n_ops):
+        """Yield :class:`MemoryOp` µops (at most ``n_ops``)."""
+        if n_ops <= 0:
+            raise SimulationError("n_ops must be positive")
+        produced = 0
+        for descriptor in self.addresses(n_ops):
+            if produced >= n_ops:
+                break
+            if len(descriptor) == 2:
+                kind, vaddr = descriptor
+                retires = True
+            else:
+                kind, vaddr, retires = descriptor
+            yield MemoryOp(kind, vaddr, retires=retires)
+            produced += 1
+
+    def describe(self):
+        """Metadata used in observation labels."""
+        return {"name": self.name, "footprint": self.footprint_bytes}
+
+    def __repr__(self):
+        return "%s(footprint=%d)" % (type(self).__name__, self.footprint_bytes)
+
+
+def interleave_stores(index, load_store_ratio):
+    """Shared helper: should op ``index`` be a store?
+
+    ``load_store_ratio`` is the fraction of loads (1.0 = loads only,
+    0.0 = stores only). Deterministic interleaving keeps streams
+    reproducible.
+    """
+    if not 0.0 <= load_store_ratio <= 1.0:
+        raise SimulationError("load_store_ratio must be in [0, 1]")
+    if load_store_ratio >= 1.0:
+        return False
+    if load_store_ratio <= 0.0:
+        return True
+    period = max(2, round(1.0 / (1.0 - load_store_ratio)))
+    return index % period == period - 1

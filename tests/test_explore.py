@@ -1,0 +1,219 @@
+"""Tests for guided model exploration and the pipeline facade."""
+
+import pytest
+
+from repro import CounterPoint, PointRegion
+from repro.errors import AnalysisError
+from repro.explore import (
+    GuidedSearch,
+    classify_features,
+    essential_features,
+)
+from repro.explore.classification import CONFIRMED, POSSIBLE, UNSUPPORTED
+from repro.explore.search import ModelEvaluation
+from repro.cone import ModelCone
+
+
+# A miniature universe: two counters, two features.
+#   Feature "B" adds a µpath (0,1) — pde-miss-without-walk.
+#   Feature "A" adds a µpath (2,1) — irrelevant to the data.
+def tiny_cone_builder(features):
+    signatures = [(1, 0), (1, 1)]
+    if "B" in features:
+        signatures.append((0, 1))
+    if "A" in features:
+        signatures.append((2, 1))
+    return ModelCone(["causes_walk", "pde_miss"], signatures, name=str(sorted(features)))
+
+
+class TinyObservation:
+    def __init__(self, name, causes_walk, pde_miss):
+        self.name = name
+        self._point = {"causes_walk": causes_walk, "pde_miss": pde_miss}
+
+    def point(self):
+        return dict(self._point)
+
+
+OBSERVATIONS = [
+    TinyObservation("benign", 10, 4),
+    TinyObservation("excess-pde", 5, 9),  # needs feature B
+]
+
+
+@pytest.fixture
+def search():
+    return GuidedSearch(
+        tiny_cone_builder, OBSERVATIONS, candidate_features=("A", "B"), backend="exact"
+    )
+
+
+class TestGuidedSearch:
+    def test_initial_model_infeasible(self, search):
+        evaluation = search.evaluate(frozenset())
+        assert evaluation.n_infeasible == 1
+        assert evaluation.infeasible == ["excess-pde"]
+
+    def test_discovery_finds_feature_b(self, search):
+        candidate, trail = search.discovery()
+        assert candidate is not None
+        assert "B" in candidate
+        assert trail[0] == frozenset()
+
+    def test_discovery_does_not_add_useless_feature(self, search):
+        candidate, _ = search.discovery()
+        assert "A" not in candidate
+
+    def test_run_produces_minimal_models(self, search):
+        result = search.run()
+        assert result.candidate is not None
+        minimal = result.minimal_feasible
+        assert frozenset({"B"}) in minimal
+
+    def test_elimination_prunes(self, search):
+        result = search.run()
+        # The empty set was evaluated (during discovery) and is
+        # infeasible; {B} is feasible and minimal.
+        assert not search.evaluate(frozenset()).feasible
+        assert search.evaluate(frozenset({"B"})).feasible
+
+    def test_evaluation_cache(self, search):
+        first = search.evaluate(frozenset({"B"}))
+        second = search.evaluate(frozenset({"B"}))
+        assert first is second
+
+    def test_needs_observations(self):
+        with pytest.raises(AnalysisError):
+            GuidedSearch(tiny_cone_builder, [], candidate_features=("A",))
+
+    def test_stuck_discovery_returns_none(self):
+        # An observation no feature combination can explain.
+        impossible = [TinyObservation("impossible", -0.0, 0.0)]
+
+        def zero_builder(features):
+            return ModelCone(["causes_walk", "pde_miss"], [(1, 0)], name="rigid")
+
+        stuck = GuidedSearch(
+            zero_builder,
+            [TinyObservation("unexplainable", 0, 7)],
+            candidate_features=("A",),
+            backend="exact",
+        )
+        candidate, trail = stuck.discovery()
+        assert candidate is None
+        del impossible
+
+
+class TestClassification:
+    def make_evaluations(self):
+        return [
+            ModelEvaluation({"A", "B"}, [], 2),
+            ModelEvaluation({"B"}, [], 2),
+            ModelEvaluation({"A"}, ["x"], 2),
+            ModelEvaluation(set(), ["x", "y"], 2),
+        ]
+
+    def test_essential_features(self):
+        assert essential_features(self.make_evaluations()) == frozenset({"B"})
+
+    def test_classify(self):
+        classification = classify_features(self.make_evaluations(), ("A", "B", "C"))
+        assert classification["B"] == CONFIRMED
+        assert classification["A"] == POSSIBLE
+        assert classification["C"] == UNSUPPORTED
+
+    def test_classification_requires_feasible_model(self):
+        with pytest.raises(AnalysisError):
+            essential_features([ModelEvaluation(set(), ["x"], 1)])
+
+    def test_accepts_dict_input(self):
+        evaluations = {ev.features: ev for ev in self.make_evaluations()}
+        assert essential_features(evaluations) == frozenset({"B"})
+
+
+PDE_MODEL = """
+incr load.causes_walk;
+do LookupPde$;
+switch Pde$Status {
+  Hit => pass;
+  Miss => incr load.pde$_miss
+};
+done;
+"""
+
+
+class TestCounterPointFacade:
+    def test_analyze_feasible_point(self):
+        report = CounterPoint().analyze(
+            PDE_MODEL, {"load.causes_walk": 10, "load.pde$_miss": 4}
+        )
+        assert report.feasible
+        assert report.violations == []
+        assert "feasible" in report.summary()
+
+    def test_analyze_infeasible_point_reports_violations(self):
+        report = CounterPoint().analyze(
+            PDE_MODEL, {"load.causes_walk": 5, "load.pde$_miss": 12}
+        )
+        assert not report.feasible
+        assert any(
+            "load.pde$_miss <= load.causes_walk" in v.constraint.render()
+            for v in report.violations
+        )
+        assert "INFEASIBLE" in report.summary()
+
+    def test_analyze_region(self):
+        report = CounterPoint().analyze(PDE_MODEL, PointRegion([10.0, 4.0]))
+        assert report.feasible
+
+    def test_model_cone_passthrough(self):
+        cp = CounterPoint()
+        cone = cp.model_cone(PDE_MODEL)
+        assert cp.model_cone(cone) is cone
+
+    def test_rejects_unknown_model_type(self):
+        with pytest.raises(AnalysisError):
+            CounterPoint().model_cone(42)
+
+    def test_sweep_counts(self):
+        cp = CounterPoint(backend="exact")
+
+        class Obs:
+            def __init__(self, name, point):
+                self.name = name
+                self._point = point
+
+            def point(self):
+                return dict(self._point)
+
+        observations = [
+            Obs("good", {"load.causes_walk": 5, "load.pde$_miss": 2}),
+            Obs("bad", {"load.causes_walk": 2, "load.pde$_miss": 5}),
+        ]
+        sweep = cp.sweep(PDE_MODEL, observations)
+        assert sweep.n_infeasible == 1
+        assert sweep.infeasible_names == ["bad"]
+        assert not sweep.feasible
+
+    def test_compare(self):
+        cp = CounterPoint(backend="exact")
+
+        class Obs:
+            name = "only"
+
+            def point(self):
+                return {"load.causes_walk": 2, "load.pde$_miss": 5}
+
+        refined = """
+        do LookupPde$;
+        switch Pde$Status { Miss => incr load.pde$_miss; Hit => pass; };
+        switch Abort { Yes => done; No => pass; };
+        incr load.causes_walk;
+        done;
+        """
+        cones = [cp.model_cone(PDE_MODEL), cp.model_cone(refined)]
+        cones[0].name = "initial"
+        cones[1].name = "refined"
+        results = cp.compare(cones, [Obs()])
+        assert results["initial"].n_infeasible == 1
+        assert results["refined"].n_infeasible == 0

@@ -1,0 +1,360 @@
+"""Tests for the exact convex-geometry layer.
+
+The heart of the suite is the Minkowski–Weyl property test: for random
+generator sets, a point is a non-negative combination of the generators
+(LP feasibility, V-representation) exactly when it satisfies all facet
+constraints produced by the double-description pipeline
+(H-representation).
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import (
+    Cone,
+    ConeConstraint,
+    EQUALITY,
+    INEQUALITY,
+    extreme_rays,
+    fourier_motzkin_project,
+)
+from repro.geometry.cone import cone_equal, coordinates_in_basis
+from repro.geometry.double_description import cone_contains_point_by_rays
+from repro.geometry.fourier_motzkin import cone_h_representation_by_fm
+from repro.linalg import as_fraction_vector, normalize_integer_vector
+
+
+def rays_as_set(rays):
+    # Rays are directed: normalise scale but never flip the sign.
+    from repro.linalg import scale_to_integers
+
+    return {tuple(scale_to_integers(ray)) for ray in rays}
+
+
+class TestConeConstraint:
+    def test_normalizes_to_coprime_integers(self):
+        c = ConeConstraint([Fraction(1, 2), Fraction(-1, 4)], INEQUALITY)
+        assert c.normal == (2, -1)
+
+    def test_equality_sign_canonical(self):
+        a = ConeConstraint([1, -1], EQUALITY)
+        b = ConeConstraint([-1, 1], EQUALITY)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality_sign_not_flipped(self):
+        a = ConeConstraint([1, -1], INEQUALITY)
+        b = ConeConstraint([-1, 1], INEQUALITY)
+        assert a != b
+
+    def test_zero_normal_rejected(self):
+        with pytest.raises(GeometryError):
+            ConeConstraint([0, 0], INEQUALITY)
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(GeometryError):
+            ConeConstraint([1], "<=")
+
+    def test_satisfaction_inequality(self):
+        c = ConeConstraint([1, -1], INEQUALITY)  # x >= y
+        assert c.is_satisfied_by([3, 2])
+        assert not c.is_satisfied_by([2, 3])
+        assert c.violation([2, 3]) == 1
+
+    def test_satisfaction_equality_with_slack(self):
+        c = ConeConstraint([1, -1], EQUALITY)
+        assert c.is_satisfied_by([2, 2])
+        assert not c.is_satisfied_by([2, 3])
+        assert c.is_satisfied_by([2, 3], slack=Fraction(2))
+
+    def test_render_paper_style(self):
+        # walk_done - ret_stlb_miss >= 0 renders as ret <= walk_done.
+        c = ConeConstraint([-1, 1], INEQUALITY)
+        rendered = c.render(["load.ret_stlb_miss", "load.walk_done"])
+        assert rendered == "load.ret_stlb_miss <= load.walk_done"
+
+    def test_render_with_coefficients(self):
+        c = ConeConstraint([-2, 3], INEQUALITY)
+        assert c.render(["a", "b"]) == "2*a <= 3*b"
+
+    def test_render_name_count_mismatch(self):
+        c = ConeConstraint([1, -1], INEQUALITY)
+        with pytest.raises(GeometryError):
+            c.render(["only_one"])
+
+
+class TestExtremeRays:
+    def test_nonnegative_orthant_3d(self):
+        rays = extreme_rays([[1, 0, 0], [0, 1, 0], [0, 0, 1]])
+        assert rays_as_set(rays) == {(1, 0, 0), (0, 1, 0), (0, 0, 1)}
+
+    def test_redundant_constraint_ignored(self):
+        rays = extreme_rays([[1, 0], [0, 1], [1, 1]])
+        assert rays_as_set(rays) == {(1, 0), (0, 1)}
+
+    def test_rotated_cone_2d(self):
+        # x >= 0 and y >= x: rays (0,1) and (1,1).
+        rays = extreme_rays([[1, 0], [-1, 1]])
+        assert rays_as_set(rays) == {(0, 1), (1, 1)}
+
+    def test_zero_cone(self):
+        # x >= 0, -x >= 0, y >= 0, -y >= 0  ->  {0}.
+        rays = extreme_rays([[1, 0], [-1, 0], [0, 1], [0, -1]])
+        assert rays == []
+
+    def test_not_pointed_raises(self):
+        # Single constraint in 2D leaves a lineality direction.
+        with pytest.raises(GeometryError):
+            extreme_rays([[1, 0]])
+
+    def test_empty_input_raises(self):
+        with pytest.raises(GeometryError):
+            extreme_rays([])
+
+    def test_one_dimensional_ray(self):
+        assert rays_as_set(extreme_rays([[2]])) == {(1,)}
+
+    def test_one_dimensional_zero_cone(self):
+        assert extreme_rays([[1], [-1]]) == []
+
+    def test_icecream_like_polyhedral_cone(self):
+        # Square-based cone: z >= |x|, z >= |y| has four extreme rays.
+        rays = extreme_rays(
+            [[1, 0, 1], [-1, 0, 1], [0, 1, 1], [0, -1, 1]]
+        )
+        assert rays_as_set(rays) == {
+            (1, 1, 1),
+            (1, -1, 1),
+            (-1, 1, 1),
+            (-1, -1, 1),
+        }
+
+    def test_rays_satisfy_all_constraints(self):
+        constraints = [[1, 2, 0], [0, 1, 1], [3, 0, 1], [1, 1, 1]]
+        for ray in extreme_rays(constraints):
+            for row in constraints:
+                assert sum(a * b for a, b in zip(row, ray)) >= 0
+
+
+class TestCoordinatesInBasis:
+    def test_identity_basis(self):
+        basis = [as_fraction_vector([1, 0]), as_fraction_vector([0, 1])]
+        assert coordinates_in_basis(basis, as_fraction_vector([3, 4])) == [3, 4]
+
+    def test_skew_basis(self):
+        basis = [as_fraction_vector([1, 1, 0]), as_fraction_vector([0, 1, 1])]
+        coords = coordinates_in_basis(basis, as_fraction_vector([2, 5, 3]))
+        assert coords == [2, 3]
+
+    def test_outside_span_raises(self):
+        basis = [as_fraction_vector([1, 0, 0])]
+        with pytest.raises(GeometryError):
+            coordinates_in_basis(basis, as_fraction_vector([0, 1, 0]))
+
+
+class TestCone:
+    def test_dedupes_scaled_generators(self):
+        cone = Cone([[1, 2], [2, 4], [3, 6]])
+        assert len(cone.generators) == 1
+
+    def test_drops_zero_generators(self):
+        cone = Cone([[0, 0], [1, 0]])
+        assert len(cone.generators) == 1
+
+    def test_empty_needs_ambient_dim(self):
+        with pytest.raises(GeometryError):
+            Cone([])
+
+    def test_zero_cone_facets_are_equalities(self):
+        cone = Cone([], ambient_dim=2)
+        facets = cone.facet_constraints()
+        assert all(f.kind == EQUALITY for f in facets)
+        assert len(facets) == 2
+
+    def test_orthant_facets(self):
+        cone = Cone([[1, 0], [0, 1]])
+        facets = cone.facet_constraints()
+        inequalities = {f.normal for f in facets if f.kind == INEQUALITY}
+        assert inequalities == {(1, 0), (0, 1)}
+
+    def test_ray_cone_facets(self):
+        cone = Cone([[1, 1]])
+        facets = cone.facet_constraints()
+        equalities = [f for f in facets if f.kind == EQUALITY]
+        inequalities = [f for f in facets if f.kind == INEQUALITY]
+        assert len(equalities) == 1  # x == y
+        assert len(inequalities) == 1  # x >= 0 direction along the ray
+
+    def test_full_line_has_no_inequalities(self):
+        cone = Cone([[1, 1], [-1, -1]])
+        facets = cone.facet_constraints()
+        assert all(f.kind == EQUALITY for f in facets)
+
+    def test_pde_example_constraint(self):
+        # Paper Figure 6a: paths with signatures over
+        # (causes_walk, pde$_miss): hit path (1,0), miss path (1,1).
+        cone = Cone([[1, 0], [1, 1]])
+        facets = cone.facet_constraints()
+        names = ["load.causes_walk", "load.pde$_miss"]
+        rendered = sorted(f.render(names) for f in facets)
+        assert "load.pde$_miss <= load.causes_walk" in rendered
+
+    def test_contains_interior_and_exterior(self):
+        cone = Cone([[1, 0], [1, 1]])
+        assert cone.contains([2, 1])
+        assert cone.contains([0, 0])
+        assert not cone.contains([1, 2])  # pde misses > walks: infeasible
+        assert not cone.contains([-1, 0])
+
+    def test_contains_dimension_mismatch(self):
+        with pytest.raises(GeometryError):
+            Cone([[1, 0]]).contains([1, 0, 0])
+
+    def test_subset_relation(self):
+        small = Cone([[1, 0]])
+        big = Cone([[1, 0], [0, 1]])
+        assert small.is_subset_of(big)
+        assert not big.is_subset_of(small)
+
+    def test_cone_equal(self):
+        a = Cone([[1, 0], [0, 1], [1, 1]])
+        b = Cone([[0, 1], [1, 0]])
+        assert cone_equal(a, b)
+
+    def test_irredundant_generators(self):
+        cone = Cone([[1, 0], [0, 1], [1, 1]])
+        kept = {tuple(g) for g in cone.irredundant_generators()}
+        assert kept == {(1, 0), (0, 1)}
+
+    def test_is_generator_redundant(self):
+        cone = Cone([[1, 0], [0, 1], [1, 1]])
+        index = [tuple(g) for g in cone.generators].index((1, 1))
+        assert cone.is_generator_redundant(index)
+
+
+class TestFourierMotzkin:
+    def test_simple_projection(self):
+        # x - z >= 0, z >= 0, y - z >= 0 projected to (x, y):
+        # x >= 0 and y >= 0 must follow.
+        rows = [[1, 0, -1], [0, 0, 1], [0, 1, -1]]
+        projected = fourier_motzkin_project(rows, 2)
+        normals = {tuple(normalize_integer_vector(r)) for r in projected}
+        assert (1, 0) in normals
+        assert (0, 1) in normals
+
+    def test_empty_input(self):
+        assert fourier_motzkin_project([], 2) == []
+
+    def test_n_keep_too_large(self):
+        with pytest.raises(GeometryError):
+            fourier_motzkin_project([[1, 0]], 3)
+
+    def test_h_rep_matches_dd_on_pde_example(self):
+        generators = [[1, 0], [1, 1]]
+        fm_rows = cone_h_representation_by_fm(generators)
+        dd_facets = Cone(generators).facet_constraints()
+        # Same satisfaction behaviour on a grid of test points.
+        for x in range(-2, 4):
+            for y in range(-2, 4):
+                point = as_fraction_vector([x, y])
+                fm_ok = all(
+                    sum(a * b for a, b in zip(row, point)) >= 0 for row in fm_rows
+                )
+                dd_ok = all(f.is_satisfied_by(point) for f in dd_facets)
+                assert fm_ok == dd_ok, (x, y)
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests: Minkowski–Weyl duality
+# ---------------------------------------------------------------------------
+
+small_nonneg = st.integers(min_value=0, max_value=3)
+
+
+@st.composite
+def generator_sets(draw, max_dim=3, max_generators=4):
+    dim = draw(st.integers(min_value=1, max_value=max_dim))
+    count = draw(st.integers(min_value=1, max_value=max_generators))
+    gens = [
+        [draw(small_nonneg) for _ in range(dim)]
+        for _ in range(count)
+    ]
+    return dim, gens
+
+
+@settings(max_examples=40, deadline=None)
+@given(generator_sets())
+def test_generators_satisfy_their_own_facets(data):
+    dim, gens = data
+    cone = Cone(gens, ambient_dim=dim)
+    facets = cone.facet_constraints()
+    for g in cone.generators:
+        for facet in facets:
+            assert facet.is_satisfied_by(g)
+
+
+@settings(max_examples=30, deadline=None)
+@given(generator_sets(max_dim=3, max_generators=3), st.lists(st.integers(min_value=-2, max_value=4), min_size=3, max_size=3))
+def test_minkowski_weyl_membership_equivalence(data, raw_point):
+    dim, gens = data
+    point = raw_point[:dim]
+    cone = Cone(gens, ambient_dim=dim)
+    facets = cone.facet_constraints()
+    in_by_lp = cone.contains(point)
+    in_by_facets = all(f.is_satisfied_by(as_fraction_vector(point)) for f in facets)
+    assert in_by_lp == in_by_facets
+
+
+@settings(max_examples=30, deadline=None)
+@given(generator_sets(max_dim=3, max_generators=3))
+def test_nonnegative_combinations_are_members(data):
+    dim, gens = data
+    cone = Cone(gens, ambient_dim=dim)
+    # Sum of all generators with weights 1 and 2 is inside the cone.
+    combo = [Fraction(0)] * dim
+    for weight, g in zip([1, 2, 1, 2], cone.generators):
+        for j in range(dim):
+            combo[j] += weight * Fraction(g[j])
+    assert cone.contains(combo)
+    facets = cone.facet_constraints()
+    assert all(f.is_satisfied_by(combo) for f in facets)
+
+
+@settings(max_examples=25, deadline=None)
+@given(generator_sets(max_dim=3, max_generators=3))
+def test_dd_and_fm_describe_same_cone(data):
+    dim, gens = data
+    cone = Cone(gens, ambient_dim=dim)
+    facets = cone.facet_constraints()
+    fm_rows = cone_h_representation_by_fm(gens, ambient_dim=dim)
+    for point in _grid_points(dim):
+        dd_ok = all(f.is_satisfied_by(point) for f in facets)
+        fm_ok = all(sum(a * b for a, b in zip(row, point)) >= 0 for row in fm_rows)
+        assert dd_ok == fm_ok, point
+
+
+def _grid_points(dim):
+    values = [-1, 0, 1, 2]
+    if dim == 1:
+        return [as_fraction_vector([v]) for v in values]
+    if dim == 2:
+        return [as_fraction_vector([a, b]) for a in values for b in values]
+    return [
+        as_fraction_vector([a, b, c])
+        for a in values
+        for b in values
+        for c in values
+    ]
+
+
+@settings(max_examples=30, deadline=None)
+@given(generator_sets(max_dim=3, max_generators=4))
+def test_lp_membership_agrees_with_ray_membership(data):
+    dim, gens = data
+    cone = Cone(gens, ambient_dim=dim)
+    point = [sum(Fraction(g[j]) for g in cone.generators) for j in range(dim)]
+    assert cone_contains_point_by_rays(cone.generators, point)

@@ -1,0 +1,164 @@
+"""End-to-end integration tests across the full pipeline.
+
+These exercise the paper's Figure 2 flow on live substrate output:
+workload → simulator → (multiplexed) samples → confidence region →
+feasibility → violations → refinement, plus cross-format roundtrips.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CounterPoint
+from repro.cone import separating_constraint
+from repro.cone import test_point_feasibility as point_feasibility
+from repro.counters import MultiplexingSimulator, collect_interval_samples
+from repro.counters.perf_io import format_perf_csv, parse_perf_csv
+from repro.mmu import MMUConfig, MMUSimulator, MemoryOp
+from repro.models import M_SERIES, build_model_cone
+from repro.workloads import LinearAccessWorkload, RandomAccessWorkload
+
+
+class TestFigure2Flow:
+    """Model specification -> cone -> data -> verdict -> refinement."""
+
+    INITIAL = """
+    incr load.causes_walk;
+    do LookupPde$;
+    switch Pde$Status { Hit => pass; Miss => incr load.pde$_miss };
+    done;
+    """
+
+    REFINED = """
+    do LookupPde$;
+    switch Pde$Status { Miss => incr load.pde$_miss; Hit => pass; };
+    switch Abort { Yes => done; No => pass; };
+    incr load.causes_walk;
+    done;
+    """
+
+    def observation_from_simulator(self):
+        """Measure the two counters on a 1G-page run where merging makes
+        PDE misses outnumber walks (the paper's opening surprise)."""
+        simulator = MMUSimulator(MMUConfig.full_haswell(), page_size="1g")
+        page = 1 << 30
+        ops = []
+        for _ in range(3):
+            for page_index in range(8):
+                for step in range(16):
+                    ops.append(MemoryOp("load", page_index * page + step * (1 << 20)))
+        simulator.run(ops)
+        return {
+            "load.causes_walk": simulator.counters["load.causes_walk"],
+            "load.pde$_miss": simulator.counters["load.pde$_miss"],
+        }
+
+    def test_full_refinement_loop(self):
+        counterpoint = CounterPoint(backend="exact")
+        observation = self.observation_from_simulator()
+        assert observation["load.pde$_miss"] > observation["load.causes_walk"]
+
+        initial = counterpoint.analyze(self.INITIAL, observation)
+        assert not initial.feasible
+        assert any(
+            "load.pde$_miss <= load.causes_walk" in violation.constraint.render()
+            for violation in initial.violations
+        )
+
+        refined = counterpoint.analyze(self.REFINED, observation)
+        assert refined.feasible
+
+    def test_certificate_matches_violation(self):
+        counterpoint = CounterPoint(backend="exact")
+        observation = self.observation_from_simulator()
+        cone = counterpoint.model_cone(self.INITIAL)
+        certificate = separating_constraint(cone, observation)
+        assert certificate is not None
+        assert certificate.render() == "load.pde$_miss <= load.causes_walk"
+
+
+class TestMeasurementRoundtrip:
+    def test_simulator_to_perf_csv_to_region_to_verdict(self):
+        """Simulate, export perf CSV, re-import, analyse — the adoption
+        path for real perf data."""
+        simulator = MMUSimulator(MMUConfig.full_haswell())
+        workload = LinearAccessWorkload(16 << 20, stride=64)
+        intervals = list(simulator.run_intervals(workload.ops(8000), 500))
+        counters = sorted(intervals[0])
+        matrix = collect_interval_samples(counters, intervals)
+
+        csv_text = format_perf_csv(matrix)
+        parsed = parse_perf_csv(csv_text)
+        aligned = parsed.subset(counters)
+
+        m4 = build_model_cone(M_SERIES["m4"])
+        region = aligned.subset(m4.counters).confidence_region()
+        counterpoint = CounterPoint(backend="scipy")
+        report = counterpoint.analyze(m4, region)
+        assert report.feasible
+
+        m0 = build_model_cone(M_SERIES["m0"])
+        report0 = counterpoint.analyze(m0, region)
+        assert not report0.feasible
+
+    def test_multiplexed_region_still_accepts_m4(self):
+        simulator = MMUSimulator(MMUConfig.full_haswell())
+        workload = RandomAccessWorkload(32 << 20, 0.75, seed=9)
+        intervals = list(simulator.run_intervals(workload.ops(12000), 300))
+        counters = sorted(intervals[0])
+        multiplexer = MultiplexingSimulator(
+            n_physical=4, slices_per_interval=48, phase_noise=0.25, seed=2
+        )
+        matrix = collect_interval_samples(counters, intervals, multiplexer=multiplexer)
+        m4 = build_model_cone(M_SERIES["m4"])
+        region = matrix.subset(m4.counters).confidence_region()
+        report = CounterPoint(backend="scipy").analyze(m4, region)
+        assert report.feasible
+
+
+# ---------------------------------------------------------------------------
+# Property tests: simulator invariants the final model depends on.
+# ---------------------------------------------------------------------------
+
+workload_strategy = st.builds(
+    RandomAccessWorkload,
+    footprint_bytes=st.sampled_from([1 << 20, 4 << 20, 16 << 20]),
+    load_store_ratio=st.sampled_from([1.0, 0.75, 0.5]),
+    seed=st.integers(min_value=0, max_value=50),
+)
+
+
+@settings(max_examples=12, deadline=None)
+@given(workload_strategy)
+def test_simulator_counting_invariants(workload):
+    simulator = MMUSimulator(MMUConfig.full_haswell())
+    simulator.run(workload.ops(2500))
+    counters = simulator.counters
+    for t in ("load", "store"):
+        # Every demand walk completes (replays included).
+        assert counters["%s.walk_done" % t] == counters["%s.causes_walk" % t]
+        # Size breakdown sums to the total.
+        assert counters["%s.walk_done" % t] == (
+            counters["%s.walk_done_4k" % t]
+            + counters["%s.walk_done_2m" % t]
+            + counters["%s.walk_done_1g" % t]
+        )
+        # Footnote-8 equality: stlb_hit = stlb_hit_4k + stlb_hit_2m.
+        assert counters["%s.stlb_hit" % t] == (
+            counters["%s.stlb_hit_4k" % t] + counters["%s.stlb_hit_2m" % t]
+        )
+        # Retired STLB misses are retired µops (SMT off: no errata).
+        assert counters["%s.ret_stlb_miss" % t] <= counters["%s.ret" % t]
+    assert all(value >= 0 for value in counters.values())
+
+
+@settings(max_examples=6, deadline=None)
+@given(workload_strategy)
+def test_m4_explains_random_workloads(workload):
+    """The headline soundness property: ground-truth totals of any
+    workload are inside the final model's cone."""
+    simulator = MMUSimulator(MMUConfig.full_haswell())
+    simulator.run(workload.ops(2500))
+    m4 = build_model_cone(M_SERIES["m4"])
+    result = point_feasibility(m4, simulator.snapshot(), backend="scipy")
+    assert result.feasible

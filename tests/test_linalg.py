@@ -1,0 +1,247 @@
+"""Unit and property tests for exact rational linear algebra."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LinalgError
+from repro.linalg import (
+    as_fraction_matrix,
+    as_fraction_vector,
+    dot,
+    identity,
+    is_zero_vector,
+    matmul,
+    matvec,
+    normalize_integer_vector,
+    nullspace,
+    rank,
+    row_space_basis,
+    rref,
+    scale_to_integers,
+    solve,
+    transpose,
+    vector_sub,
+)
+
+
+class TestConversions:
+    def test_vector_from_ints(self):
+        assert as_fraction_vector([1, 2]) == [Fraction(1), Fraction(2)]
+
+    def test_vector_from_floats_is_exact(self):
+        vec = as_fraction_vector([0.5])
+        assert vec == [Fraction(1, 2)]
+
+    def test_matrix_rejects_ragged_rows(self):
+        with pytest.raises(LinalgError):
+            as_fraction_matrix([[1, 2], [3]])
+
+    def test_empty_matrix(self):
+        assert as_fraction_matrix([]) == []
+
+
+class TestBasicOps:
+    def test_identity(self):
+        eye = identity(3)
+        assert eye[0] == [1, 0, 0]
+        assert eye[2][2] == 1
+
+    def test_transpose_roundtrip(self):
+        m = as_fraction_matrix([[1, 2, 3], [4, 5, 6]])
+        assert transpose(transpose(m)) == m
+
+    def test_transpose_empty(self):
+        assert transpose([]) == []
+
+    def test_dot(self):
+        assert dot(as_fraction_vector([1, 2]), as_fraction_vector([3, 4])) == 11
+
+    def test_dot_length_mismatch(self):
+        with pytest.raises(LinalgError):
+            dot([Fraction(1)], [Fraction(1), Fraction(2)])
+
+    def test_vector_sub(self):
+        assert vector_sub(as_fraction_vector([3, 5]), as_fraction_vector([1, 2])) == [2, 3]
+
+    def test_matvec(self):
+        m = as_fraction_matrix([[1, 0], [0, 2]])
+        assert matvec(m, as_fraction_vector([3, 4])) == [3, 8]
+
+    def test_matmul_identity(self):
+        m = as_fraction_matrix([[1, 2], [3, 4]])
+        assert matmul(m, identity(2)) == m
+
+    def test_matmul_dimension_mismatch(self):
+        with pytest.raises(LinalgError):
+            matmul([[Fraction(1), Fraction(2)]], [[Fraction(1)]] * 3)
+
+    def test_is_zero_vector(self):
+        assert is_zero_vector([Fraction(0), Fraction(0)])
+        assert not is_zero_vector([Fraction(0), Fraction(1)])
+
+
+class TestRref:
+    def test_already_reduced(self):
+        m = as_fraction_matrix([[1, 0], [0, 1]])
+        reduced, pivots = rref(m)
+        assert reduced == m
+        assert pivots == [0, 1]
+
+    def test_requires_row_swap(self):
+        m = as_fraction_matrix([[0, 1], [1, 0]])
+        reduced, pivots = rref(m)
+        assert reduced == [[1, 0], [0, 1]]
+        assert pivots == [0, 1]
+
+    def test_rank_deficient(self):
+        m = as_fraction_matrix([[1, 2], [2, 4]])
+        reduced, pivots = rref(m)
+        assert pivots == [0]
+        assert reduced[1] == [0, 0]
+
+    def test_rational_pivots(self):
+        m = as_fraction_matrix([[2, 4], [1, 3]])
+        reduced, _ = rref(m)
+        assert reduced == [[1, 0], [0, 1]]
+
+    def test_empty(self):
+        assert rref([]) == ([], [])
+
+
+class TestRankNullspace:
+    def test_rank_full(self):
+        assert rank([[1, 0], [0, 1]]) == 2
+
+    def test_rank_deficient(self):
+        assert rank([[1, 2], [2, 4], [3, 6]]) == 1
+
+    def test_nullspace_orthogonal_to_rows(self):
+        m = as_fraction_matrix([[1, 2, 3], [0, 1, 1]])
+        for vec in nullspace(m):
+            assert is_zero_vector(matvec(m, vec))
+
+    def test_nullspace_dimension(self):
+        m = as_fraction_matrix([[1, 2, 3], [0, 1, 1]])
+        assert len(nullspace(m)) == 1
+
+    def test_nullspace_full_rank_square(self):
+        assert nullspace([[1, 0], [0, 1]]) == []
+
+    def test_row_space_basis_canonical(self):
+        basis_a = row_space_basis([[1, 2], [3, 6]])
+        basis_b = row_space_basis([[2, 4]])
+        assert basis_a == basis_b
+
+
+class TestSolve:
+    def test_simple_system(self):
+        x = solve([[2, 0], [0, 4]], [4, 8])
+        assert x == [2, 2]
+
+    def test_exact_rational_answer(self):
+        x = solve([[3]], [1])
+        assert x == [Fraction(1, 3)]
+
+    def test_singular_raises(self):
+        with pytest.raises(LinalgError):
+            solve([[1, 1], [1, 1]], [1, 2])
+
+    def test_nonsquare_raises(self):
+        with pytest.raises(LinalgError):
+            solve([[1, 2]], [1])
+
+    def test_rhs_mismatch_raises(self):
+        with pytest.raises(LinalgError):
+            solve([[1, 0], [0, 1]], [1])
+
+    def test_empty_system(self):
+        assert solve([], []) == []
+
+
+class TestNormalization:
+    def test_scale_to_integers(self):
+        assert scale_to_integers([Fraction(1, 2), Fraction(1, 3)]) == [3, 2]
+
+    def test_scale_preserves_sign(self):
+        assert scale_to_integers([Fraction(-1, 2), Fraction(1, 4)]) == [-2, 1]
+
+    def test_scale_zero_vector(self):
+        assert scale_to_integers([Fraction(0), Fraction(0)]) == [0, 0]
+
+    def test_normalize_flips_sign(self):
+        assert normalize_integer_vector([Fraction(-2), Fraction(4)]) == [1, -2]
+
+    def test_normalize_coprime(self):
+        assert normalize_integer_vector([6, 9]) == [2, 3]
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests
+# ---------------------------------------------------------------------------
+
+small_fractions = st.builds(
+    Fraction,
+    st.integers(min_value=-6, max_value=6),
+    st.integers(min_value=1, max_value=4),
+)
+
+
+def matrices(max_rows=4, max_cols=4):
+    return st.integers(min_value=1, max_value=max_rows).flatmap(
+        lambda r: st.integers(min_value=1, max_value=max_cols).flatmap(
+            lambda c: st.lists(
+                st.lists(small_fractions, min_size=c, max_size=c),
+                min_size=r,
+                max_size=r,
+            )
+        )
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(matrices())
+def test_rref_is_idempotent(matrix):
+    reduced, _ = rref(matrix)
+    again, _ = rref(reduced)
+    assert again == reduced
+
+
+@settings(max_examples=60, deadline=None)
+@given(matrices())
+def test_rank_bounded_by_shape(matrix):
+    r = rank(matrix)
+    assert 0 <= r <= min(len(matrix), len(matrix[0]))
+
+
+@settings(max_examples=60, deadline=None)
+@given(matrices())
+def test_rank_nullity_theorem(matrix):
+    n_cols = len(matrix[0])
+    assert rank(matrix) + len(nullspace(matrix)) == n_cols
+
+
+@settings(max_examples=60, deadline=None)
+@given(matrices())
+def test_nullspace_vectors_annihilated(matrix):
+    m = as_fraction_matrix(matrix)
+    for vec in nullspace(m):
+        assert is_zero_vector(matvec(m, vec))
+
+
+@settings(max_examples=60, deadline=None)
+@given(matrices())
+def test_transpose_preserves_rank(matrix):
+    assert rank(matrix) == rank(transpose(as_fraction_matrix(matrix)))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(small_fractions, min_size=1, max_size=6))
+def test_normalize_integer_vector_is_canonical(vector):
+    normalized = normalize_integer_vector(vector)
+    assert normalize_integer_vector(normalized) == normalized
+    # Scaling the input by a nonzero rational gives the same canonical form.
+    scaled = [Fraction(-3, 2) * v for v in vector]
+    assert normalize_integer_vector(scaled) == normalized

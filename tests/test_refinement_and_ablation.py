@@ -1,0 +1,147 @@
+"""Tests for refinement suggestions and hardware-side ablations."""
+
+import pytest
+
+from repro.cone import identify_violations
+from repro.cone import test_point_feasibility as point_feasibility
+from repro.errors import ConfigurationError
+from repro.explore.refinement import (
+    HASWELL_ARCHETYPES,
+    describe_required_path,
+    suggest_features,
+)
+from repro.mmu.ablation import (
+    config_without,
+    counter_delta,
+    feature_ablations,
+    run_ablations,
+)
+from repro.models import M_SERIES, build_model_cone
+from repro.models.features import (
+    EARLY_PSC,
+    MERGING,
+    PML4E_CACHE,
+    TLB_PF,
+    WALK_BYPASS,
+)
+from repro.workloads import LinearAccessWorkload
+
+
+@pytest.fixture(scope="module")
+def m0_violations():
+    """Violations of the conservative model on a merging-heavy run."""
+    from repro.mmu import MMUSimulator
+
+    simulator = MMUSimulator()
+    simulator.run(LinearAccessWorkload(32 << 20, stride=64).ops(12000))
+    cone = build_model_cone(M_SERIES["m0"])
+    return identify_violations(cone, simulator.snapshot(), backend="scipy")
+
+
+class TestRequiredPath:
+    def test_direction_of_requirement(self, m0_violations):
+        inequality = next(
+            v.constraint for v in m0_violations if not v.constraint.is_equality
+        )
+        requirement = describe_required_path(inequality)
+        # Must-increment counters are the constraint's negative side.
+        for name in requirement.must_increment:
+            coefficient = inequality.normal[inequality.counters.index(name)]
+            assert coefficient < 0
+        assert "need a µpath incrementing" in requirement.render()
+
+
+class TestSuggestFeatures:
+    def test_merging_run_suggests_merging_or_prefetch(self, m0_violations):
+        ranked = suggest_features(m0_violations)
+        assert ranked, "violations should yield suggestions"
+        suggested = [feature for feature, _, _ in ranked]
+        # The run's dominant violations (ret_stlb_miss excess, walk_ref
+        # excess) are resolved by merging and prefetching archetypes.
+        assert MERGING in suggested
+        assert TLB_PF in suggested
+
+    def test_suggestions_carry_explanations(self, m0_violations):
+        ranked = suggest_features(m0_violations)
+        feature, score, explanations = ranked[0]
+        assert score > 0
+        assert explanations and all(len(pair) == 2 for pair in explanations)
+
+    def test_equalities_ignored(self):
+        assert suggest_features([]) == []
+
+    def test_archetype_kb_covers_all_features(self):
+        features = {archetype.feature for archetype in HASWELL_ARCHETYPES}
+        assert features == {TLB_PF, EARLY_PSC, MERGING, PML4E_CACHE, WALK_BYPASS}
+
+    def test_suggested_features_actually_help(self, m0_violations):
+        """The top suggestions, applied, reduce infeasibility — closing
+        the guided-refinement loop."""
+        from repro.mmu import MMUSimulator
+
+        simulator = MMUSimulator()
+        simulator.run(LinearAccessWorkload(32 << 20, stride=64).ops(12000))
+        observation = simulator.snapshot()
+
+        ranked = suggest_features(m0_violations)
+        top = {feature for feature, _, _ in ranked[:3]}
+        refined = build_model_cone(frozenset(top))
+        base_ok = point_feasibility(
+            build_model_cone(M_SERIES["m0"]), observation, backend="scipy"
+        ).feasible
+        refined_violations = identify_violations(refined, observation, backend="scipy")
+        assert not base_ok
+        assert len(refined_violations) < len(m0_violations)
+
+
+class TestHardwareAblation:
+    def test_config_without_each_feature(self):
+        for feature in (TLB_PF, EARLY_PSC, MERGING, PML4E_CACHE, WALK_BYPASS):
+            config = config_without(feature)
+            assert not config.feature_set()[feature]
+            others = {k: v for k, v in config.feature_set().items() if k != feature}
+            assert all(others.values())
+
+    def test_unknown_feature_rejected(self):
+        with pytest.raises(ConfigurationError):
+            config_without("WarpDrive")
+
+    def test_feature_ablations_labels(self):
+        configurations = feature_ablations()
+        assert "full" in configurations
+        assert "no-Merging" in configurations
+        assert len(configurations) == 6
+
+    def test_run_ablations_deltas(self):
+        workload = LinearAccessWorkload(16 << 20, stride=64)
+        results = run_ablations(workload, 8000)
+        # No merging: more walks (each µop walks for itself).
+        delta = counter_delta(results["full"], results["no-Merging"])
+        assert delta.get("load.causes_walk", 0) > 0
+        # No prefetcher: fewer walker references.
+        delta_pf = counter_delta(results["full"], results["no-TlbPf"])
+        refs = sum(
+            delta_pf.get("walk_ref.%s" % level, 0) for level in ("l1", "l2", "l3", "mem")
+        )
+        assert refs < 0
+
+    def test_hardware_model_ablation_alignment(self):
+        """The methodology's consistency check: data from hardware
+        lacking feature F is feasible for the model lacking F."""
+        workload = LinearAccessWorkload(16 << 20, stride=64)
+        pairs = [
+            (TLB_PF, "m5"),      # m5 = m4 - TlbPf
+            (EARLY_PSC, "m6"),
+            (MERGING, "m7"),
+        ]
+        for feature, model_name in pairs:
+            simulator_config = config_without(feature)
+            from repro.mmu import MMUSimulator
+
+            simulator = MMUSimulator(simulator_config)
+            simulator.run(workload.ops(8000))
+            cone = build_model_cone(M_SERIES[model_name])
+            result = point_feasibility(cone, simulator.snapshot(), backend="scipy")
+            assert result.feasible, (
+                "hardware without %s must satisfy model %s" % (feature, model_name)
+            )

@@ -1,0 +1,235 @@
+"""Tests for the statistics layer: chi2, covariance, confidence regions."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats as scipy_stats
+
+from repro.errors import StatsError
+from repro.stats import (
+    ConfidenceRegion,
+    PointRegion,
+    chi2_quantile,
+    gammainc_lower_regularized,
+    pearson_correlation_matrix,
+    sample_covariance,
+    sample_mean,
+)
+from repro.stats.chi2 import chi2_cdf, chi2_pdf
+from repro.stats.covariance import highly_correlated_fraction
+
+
+class TestChi2:
+    @pytest.mark.parametrize("dof", [1, 2, 3, 5, 10, 26, 50])
+    @pytest.mark.parametrize("confidence", [0.5, 0.9, 0.95, 0.99, 0.999])
+    def test_matches_scipy(self, dof, confidence):
+        ours = chi2_quantile(confidence, dof)
+        scipys = scipy_stats.chi2.ppf(confidence, dof)
+        assert math.isclose(ours, scipys, rel_tol=1e-8)
+
+    def test_gammainc_matches_scipy(self):
+        from scipy.special import gammainc
+
+        for a in (0.5, 1.0, 2.5, 13.0):
+            for x in (0.0, 0.1, 1.0, 5.0, 40.0):
+                assert math.isclose(
+                    gammainc_lower_regularized(a, x),
+                    float(gammainc(a, x)),
+                    rel_tol=1e-10,
+                    abs_tol=1e-12,
+                )
+
+    def test_cdf_quantile_roundtrip(self):
+        for dof in (2, 7):
+            for confidence in (0.9, 0.99):
+                x = chi2_quantile(confidence, dof)
+                assert math.isclose(chi2_cdf(x, dof), confidence, rel_tol=1e-9)
+
+    def test_quantile_monotone_in_confidence(self):
+        values = [chi2_quantile(c, 4) for c in (0.5, 0.9, 0.99)]
+        assert values == sorted(values)
+
+    def test_quantile_monotone_in_dof(self):
+        values = [chi2_quantile(0.99, dof) for dof in (1, 2, 8, 26)]
+        assert values == sorted(values)
+
+    def test_pdf_nonnegative(self):
+        assert chi2_pdf(-1.0, 3) == 0.0
+        assert chi2_pdf(2.0, 3) > 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(StatsError):
+            chi2_quantile(1.5, 3)
+        with pytest.raises(StatsError):
+            chi2_quantile(0.9, 0)
+        with pytest.raises(StatsError):
+            gammainc_lower_regularized(-1.0, 1.0)
+        with pytest.raises(StatsError):
+            gammainc_lower_regularized(1.0, -1.0)
+
+
+class TestCovariance:
+    def test_sample_mean(self):
+        samples = [[1.0, 10.0], [3.0, 30.0]]
+        assert np.allclose(sample_mean(samples), [2.0, 20.0])
+
+    def test_sample_covariance_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(size=(50, 3))
+        ours = sample_covariance(samples)
+        numpys = np.cov(samples, rowvar=False, ddof=1)
+        assert np.allclose(ours, numpys)
+
+    def test_single_counter_matrix(self):
+        samples = [[1.0], [2.0], [3.0]]
+        covariance = sample_covariance(samples)
+        assert covariance.shape == (1, 1)
+        assert np.isclose(covariance[0, 0], 1.0)
+
+    def test_too_few_samples(self):
+        with pytest.raises(StatsError):
+            sample_covariance([[1.0, 2.0]])
+
+    def test_pearson_perfect_correlation(self):
+        base = np.arange(20.0)
+        samples = np.stack([base, 2 * base + 5], axis=1)
+        correlation = pearson_correlation_matrix(samples)
+        assert np.isclose(correlation[0, 1], 1.0)
+
+    def test_pearson_constant_column(self):
+        samples = np.stack([np.arange(10.0), np.ones(10)], axis=1)
+        correlation = pearson_correlation_matrix(samples)
+        assert correlation[0, 1] == 0.0
+        assert correlation[1, 1] == 1.0
+
+    def test_highly_correlated_fraction(self):
+        base = np.arange(30.0)
+        noise = np.random.default_rng(1).normal(0, 50.0, 30)
+        samples = np.stack([base, base * 3 + 1, noise], axis=1)
+        fraction = highly_correlated_fraction(samples, threshold=0.9)
+        assert fraction == pytest.approx(1.0 / 3.0)
+
+    def test_correlated_fraction_needs_two_counters(self):
+        with pytest.raises(StatsError):
+            highly_correlated_fraction([[1.0], [2.0]])
+
+
+class TestConfidenceRegion:
+    def make_samples(self, rho=0.95, n=300, seed=3):
+        rng = np.random.default_rng(seed)
+        shared = rng.normal(size=n)
+        a = 100 + 5.0 * shared
+        b = 200 + 5.0 * (rho * shared + math.sqrt(1 - rho**2) * rng.normal(size=n))
+        return np.stack([a, b], axis=1)
+
+    def test_center_is_sample_mean(self):
+        samples = self.make_samples()
+        region = ConfidenceRegion.from_samples(samples)
+        assert np.allclose(region.center(), sample_mean(samples))
+
+    def test_contains_mean(self):
+        region = ConfidenceRegion.from_samples(self.make_samples())
+        assert region.contains(region.center())
+
+    def test_correlated_is_tighter(self):
+        samples = self.make_samples(rho=0.98)
+        correlated = ConfidenceRegion.from_samples(samples, correlated=True)
+        independent = ConfidenceRegion.from_samples(samples, correlated=False)
+        assert correlated.volume() < independent.volume()
+
+    def test_uncorrelated_data_similar_volumes(self):
+        samples = self.make_samples(rho=0.0, n=2000)
+        correlated = ConfidenceRegion.from_samples(samples, correlated=True)
+        independent = ConfidenceRegion.from_samples(samples, correlated=False)
+        ratio = correlated.volume() / independent.volume()
+        assert 0.8 < ratio < 1.2
+
+    def test_more_samples_tighter_region(self):
+        small = ConfidenceRegion.from_samples(self.make_samples(n=50))
+        large = ConfidenceRegion.from_samples(self.make_samples(n=5000))
+        assert large.volume() < small.volume()
+
+    def test_higher_confidence_larger_region(self):
+        samples = self.make_samples()
+        narrow = ConfidenceRegion.from_samples(samples, confidence=0.9)
+        wide = ConfidenceRegion.from_samples(samples, confidence=0.999)
+        assert wide.volume() > narrow.volume()
+
+    def test_box_constraints_count(self):
+        region = ConfidenceRegion.from_samples(self.make_samples())
+        assert len(list(region.box_constraints())) == 2
+
+    def test_box_constraint_bounds_ordered(self):
+        region = ConfidenceRegion.from_samples(self.make_samples())
+        for _, lower, upper in region.box_constraints():
+            assert lower <= upper
+
+    def test_coverage_simulation(self):
+        """~99% of resampled means should fall inside the 99% region."""
+        rng = np.random.default_rng(11)
+        hits = 0
+        trials = 200
+        for _ in range(trials):
+            samples = rng.normal([10.0, 20.0], [2.0, 3.0], size=(100, 2))
+            region = ConfidenceRegion.from_samples(samples, confidence=0.99)
+            if region.contains([10.0, 20.0]):
+                hits += 1
+        # The box over-covers the ellipsoid, so expect >= ~97% coverage.
+        assert hits / trials >= 0.95
+
+    def test_dimension_checks(self):
+        with pytest.raises(StatsError):
+            ConfidenceRegion(np.zeros(2), np.zeros((3, 3)))
+        with pytest.raises(StatsError):
+            ConfidenceRegion(np.zeros((2, 2)), np.zeros((2, 2)))
+        with pytest.raises(StatsError):
+            ConfidenceRegion(np.zeros(2), np.eye(2), confidence=1.5)
+
+    def test_contains_dimension_mismatch(self):
+        region = ConfidenceRegion(np.zeros(2), np.eye(2))
+        with pytest.raises(StatsError):
+            region.contains([1.0, 2.0, 3.0])
+
+
+class TestPointRegion:
+    def test_box_constraints_pin_point(self):
+        region = PointRegion([3.0, 4.0])
+        constraints = list(region.box_constraints())
+        assert len(constraints) == 2
+        for direction, lower, upper in constraints:
+            assert lower == upper
+
+    def test_center(self):
+        assert PointRegion([1.0, 2.0]).center() == [1.0, 2.0]
+
+    def test_contains(self):
+        region = PointRegion([1.0, 2.0])
+        assert region.contains([1.0, 2.0])
+        assert not region.contains([1.0, 2.5])
+
+
+# ---------------------------------------------------------------------------
+# Property tests
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.floats(min_value=0.01, max_value=0.995),
+    st.integers(min_value=1, max_value=40),
+)
+def test_chi2_quantile_cdf_inverse_property(confidence, dof):
+    x = chi2_quantile(confidence, dof)
+    assert math.isclose(chi2_cdf(x, dof), confidence, rel_tol=1e-7, abs_tol=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=2, max_value=30))
+def test_region_volume_positive_for_noisy_data(n_samples):
+    rng = np.random.default_rng(n_samples)
+    samples = rng.normal(size=(max(n_samples, 3), 2)) + [5.0, 9.0]
+    region = ConfidenceRegion.from_samples(samples)
+    assert region.volume() >= 0.0

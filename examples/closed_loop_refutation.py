@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Closed-loop validation: simulate one µDD, refute another.
+
+CounterPoint's analysis direction turns hardware measurements into
+refutations. The ``repro.sim`` engine runs the other direction: it
+*executes* a µDD and emits the counter observations the analysis
+consumes. Chaining the two closes the loop —
+
+    simulate(model A)  →  observations  →  analyze(model B)
+
+— which is how unlimited synthetic scenarios get ground truth: the
+generating model is feasible *by construction* (every executed µop
+contributes one genuine µpath signature, so the totals lie inside A's
+cone), while candidates whose mechanisms disagree are refuted.
+
+This demo replays the paper's Constraint 1 story synthetically: walk
+*merging* lets many retired STLB-missing loads share one page table
+walk, which a no-merging model cannot explain.
+
+Run:  python examples/closed_loop_refutation.py
+"""
+
+from repro import CounterPoint
+from repro.models.bundled import bundled_model_source, load_bundled_model
+from repro.sim import closed_loop, simulate_observation
+
+# Three µops in four merge into an outstanding walk — a page-local
+# access pattern (the regime the paper's linear microbenchmarks hit).
+WEIGHTS = {"Merged": {"Yes": 3.0, "No": 1.0}}
+
+
+def main():
+    print("=== Closed-loop refutation: simulate merging, refute no-merging ===\n")
+
+    print("-- The generating model (bundled 'merging_load_side') --")
+    print(bundled_model_source("merging_load_side"))
+
+    observation = simulate_observation(
+        "merging_load_side", n_uops=20000, weights=WEIGHTS, seed=0
+    )
+    totals = observation.point()
+    print("Simulated totals over 20k µops:")
+    for name in sorted(totals):
+        print("   %s = %d" % (name, totals[name]))
+    ratio = totals["load.ret_stlb_miss"] / max(1, totals["load.walk_done"])
+    print("\n%.2f retired STLB-missers per completed walk -- merging at work.\n"
+          % ratio)
+
+    print("-- Testing both mechanism hypotheses against the synthetic data --")
+    reports = closed_loop(
+        "merging_load_side",
+        ["merging_load_side", "no_merging_load_side"],
+        n_uops=20000,
+        weights=WEIGHTS,
+        seed=0,
+    )
+    for name, report in sorted(reports.items()):
+        print(report.summary())
+    assert reports["merging_load_side"].feasible
+    assert not reports["no_merging_load_side"].feasible
+
+    print("\n-- The same loop through the pipeline facade --")
+    counterpoint = CounterPoint(backend="exact")
+    matrix = counterpoint.cross_refute(
+        ["merging_load_side", "no_merging_load_side"],
+        n_observations=3,
+        n_uops=10000,
+        weights=WEIGHTS,
+    )
+    print("%-22s" % "simulated \\ candidate", end="")
+    names = sorted(matrix)
+    for name in names:
+        print(" %-22s" % name, end="")
+    print()
+    for observed in names:
+        print("%-22s" % observed, end="")
+        for candidate in names:
+            sweep = matrix[observed][candidate]
+            verdict = "feasible" if sweep.feasible else (
+                "refuted %d/%d" % (sweep.n_infeasible, sweep.n_observations)
+            )
+            print(" %-22s" % verdict, end="")
+        print()
+
+    print(
+        "\nConclusion: the diagonal is feasible by construction (counter\n"
+        "conservation); the off-diagonal shows synthetic merging data\n"
+        "refuting the no-merging hypothesis -- the closed loop works."
+    )
+
+
+if __name__ == "__main__":
+    main()

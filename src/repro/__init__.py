@@ -18,24 +18,55 @@ Quick start::
         MODEL, {"load.causes_walk": 5, "load.pde$_miss": 12}
     )
     print(report.summary())   # INFEASIBLE: pde$_miss <= causes_walk violated
+
+The pipeline also runs in reverse — :mod:`repro.sim` *executes* µDDs to
+generate synthetic counter observations, closing the loop::
+
+    counterpoint = CounterPoint()
+    observation = counterpoint.simulate(
+        "merging_load_side",                      # a bundled model
+        weights={"Merged": {"Yes": 3.0, "No": 1.0}},
+    )
+    report = counterpoint.analyze(
+        CounterPoint().model_cone(...),           # any candidate model
+        observation.point(),
+    )
+
+or from the shell: ``python -m repro simulate --bundled
+merging_load_side --weight Merged=Yes:3 --analyze no_merging_load_side``
+(exit status 1 = the candidate was refuted by the simulated data).
 """
 
 from repro.pipeline import AnalysisReport, CounterPoint, ModelSweep
 from repro.cone import ModelCone
 from repro.dsl import compile_dsl
 from repro.mudd import MuDD
+from repro.sim import (
+    MMUOracle,
+    MuDDExecutor,
+    RandomOracle,
+    batch_simulate,
+    closed_loop,
+    simulate_observation,
+)
 from repro.stats import ConfidenceRegion, PointRegion
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AnalysisReport",
     "ConfidenceRegion",
     "CounterPoint",
+    "MMUOracle",
     "ModelCone",
     "ModelSweep",
     "MuDD",
+    "MuDDExecutor",
     "PointRegion",
+    "RandomOracle",
+    "batch_simulate",
+    "closed_loop",
     "compile_dsl",
+    "simulate_observation",
     "__version__",
 ]

@@ -14,6 +14,16 @@ Commands
     Run the Table 3 m-series sweep on the simulated Haswell MMU.
 ``errata-check --counters a,b,... [--smt]``
     Pre-flight errata check for a measurement plan.
+``simulate <model.dsl | --bundled name> [--n-uops N] [--traces T]``
+    Execute a µDD with the :mod:`repro.sim` engine and print synthetic
+    counter totals. ``--weight Prop=Value:W`` biases branch choices,
+    ``--noisy`` replays the run through counter multiplexing, and
+    ``--analyze OTHER`` closes the loop: the simulated observation is
+    tested against a second model (exit 1 when refuted). The
+    closed-loop workflow is simulate-then-analyze::
+
+        python -m repro simulate --bundled merging_load_side \\
+            --weight Merged=Yes:3 --analyze no_merging_load_side
 """
 
 import argparse
@@ -131,6 +141,91 @@ def cmd_case_study(arguments):
     return 0
 
 
+def _parse_weights(items):
+    """Parse repeated ``--weight Prop=Value:W`` options."""
+    weights = {}
+    for item in items or ():
+        try:
+            prop, rest = item.split("=", 1)
+            value, weight = rest.rsplit(":", 1)
+            weights.setdefault(prop.strip(), {})[value.strip()] = float(weight)
+        except ValueError:
+            raise ReproError(
+                "--weight expects Prop=Value:W, got %r" % (item,)
+            ) from None
+    return weights
+
+
+def _simulate_model(arguments, argument_name):
+    from repro.sim import as_mudd
+
+    value = getattr(arguments, argument_name)
+    if arguments.bundled:
+        return as_mudd(value)
+    return _load_model(value)
+
+
+def cmd_simulate(arguments):
+    from repro.pipeline import CounterPoint
+    from repro.sim import batch_simulate, simulate_observation
+
+    model = _simulate_model(arguments, "model")
+    weights = _parse_weights(arguments.weight)
+    if arguments.traces < 1:
+        raise ReproError("--traces must be at least 1, got %d" % arguments.traces)
+    if arguments.noisy and arguments.traces > 1:
+        raise ReproError("--noisy applies to single-trace runs (drop --traces)")
+
+    counters = None
+    if arguments.traces > 1:
+        result = batch_simulate(
+            model,
+            arguments.n_uops,
+            n_traces=arguments.traces,
+            weights=weights,
+            seed=arguments.seed,
+        )
+        print(
+            "%d traces x %d µops of %s (mean totals):"
+            % (result.n_traces, arguments.n_uops, model.name)
+        )
+        # The mean of feasible trace totals stays in any convex cone, so
+        # analyzing it keeps the diagonal-feasibility guarantee.
+        totals = observation = result.mean()
+    else:
+        simulated = simulate_observation(
+            model,
+            n_uops=arguments.n_uops,
+            weights=weights,
+            seed=arguments.seed,
+            noisy=arguments.noisy,
+        )
+        print("1 trace x %d µops of %s:" % (arguments.n_uops, model.name))
+        if arguments.noisy:
+            # Multiplexed measurement: report the scale-estimated totals
+            # and analyze the confidence region, like perf data would be.
+            counters = simulated.samples.counters
+            means = simulated.samples.mean_observation()
+            totals = {
+                name: means[name] * simulated.samples.n_samples for name in means
+            }
+            observation = simulated.region()
+        else:
+            totals = observation = simulated.point()
+    for name in sorted(totals):
+        print("  %s=%g" % (name, totals[name]))
+
+    if not arguments.analyze:
+        return 0
+    candidate = _simulate_model(arguments, "analyze")
+    if counters is None:
+        counters = sorted(totals)
+    cone = ModelCone.from_mudd(candidate, counters=counters)
+    report = CounterPoint(backend=arguments.backend).analyze(cone, observation)
+    print(report.summary())
+    return 0 if report.feasible else 1
+
+
 def cmd_errata_check(arguments):
     counters = [name.strip() for name in arguments.counters.split(",") if name.strip()]
     findings = check_measurement_plan(counters, smt_enabled=arguments.smt)
@@ -175,6 +270,29 @@ def build_parser():
     case_study = commands.add_parser("case-study", help="run the Table 3 sweep")
     case_study.add_argument("--scale", type=float, default=1.0)
     case_study.set_defaults(handler=cmd_case_study)
+
+    simulate = commands.add_parser(
+        "simulate", help="execute a µDD and emit synthetic counter totals"
+    )
+    simulate.add_argument("model", help="DSL model file (or bundled name with --bundled)")
+    simulate.add_argument("--bundled", action="store_true",
+                          help="treat model arguments as bundled-model names")
+    simulate.add_argument("--n-uops", type=int, default=20000,
+                          help="µops per simulated trace")
+    simulate.add_argument("--traces", type=int, default=1,
+                          help="batched trace count (prints mean totals)")
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--weight", action="append", metavar="PROP=VALUE:W",
+                          help="bias a branch choice (repeatable)")
+    simulate.add_argument("--noisy", action="store_true",
+                          help="replay the run through counter multiplexing: print "
+                               "scale-estimated totals and analyze the confidence "
+                               "region (single trace only)")
+    simulate.add_argument("--analyze", metavar="MODEL",
+                          help="close the loop: test the simulated observation "
+                               "against another model (exit 1 when refuted)")
+    simulate.add_argument("--backend", default="exact", choices=("exact", "scipy"))
+    simulate.set_defaults(handler=cmd_simulate)
 
     errata = commands.add_parser("errata-check", help="check a measurement plan")
     errata.add_argument("--counters", required=True,

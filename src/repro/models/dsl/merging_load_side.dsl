@@ -1,0 +1,26 @@
+# merging_load_side — load-side translation with MSHR walk merging.
+#
+# A load whose page already has an outstanding walk merges into that
+# walk's MSHR: it neither starts nor completes a walk of its own, yet it
+# still retires as an STLB-missing load. These Merged = Yes µpaths
+# contribute ret_stlb_miss with no causes_walk/walk_done, so arbitrarily
+# many retired missers can ride on a single walk — the mechanism that
+# makes Constraint 1 violations feasible (Section 2).
+switch Merged {
+  Yes => {
+    switch Retires {
+      Yes => incr load.ret_stlb_miss;
+      No  => pass
+    };
+    done;
+  };
+  No => pass
+};
+incr load.causes_walk;
+do StartWalk;
+incr load.walk_done;
+switch Retires {
+  Yes => incr load.ret_stlb_miss;
+  No  => pass
+};
+done;

@@ -1,0 +1,17 @@
+# no_merging_load_side — load-side translation without walk merging.
+#
+# Without MSHR merging every STLB-missing load runs its own page table
+# walk to completion: causes_walk and walk_done increment in lockstep,
+# and a retired STLB-missing load can exist only on a path that also
+# walked. The model therefore implies Table 1's Constraint 1,
+#   load.ret_stlb_miss <= load.causes_walk  (with walk_done ==
+# causes_walk as an equality) — which merged hardware violates because
+# many retired missers share one walk.
+incr load.causes_walk;
+do StartWalk;
+incr load.walk_done;
+switch Retires {
+  Yes => incr load.ret_stlb_miss;
+  No  => pass
+};
+done;

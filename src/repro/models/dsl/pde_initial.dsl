@@ -1,0 +1,15 @@
+# pde_initial — the textbook PDE-cache assumption (Figure 2, left).
+#
+# Every load-side translation request that misses the STLB starts a page
+# table walk and probes the PDE cache exactly once on the way. Under this
+# model each PDE-cache miss is paired with a walk, so the deduced
+# constraint is  load.pde$_miss <= load.causes_walk  — the constraint the
+# paper's 1 GB measurements refute (misses outnumber walks on real
+# Haswell because merged requests probe the PDE cache too).
+incr load.causes_walk;
+do LookupPde$;
+switch Pde$Status {
+  Hit  => pass;
+  Miss => incr load.pde$_miss
+};
+done;

@@ -1,0 +1,20 @@
+# pde_refined — early PSC probing (Figure 2, right / Figure 6).
+#
+# The paper's pipelining discovery: the PDE cache is probed *before* MSHR
+# allocation, so a request that merges into an outstanding walk (and thus
+# never increments causes_walk) still probes — and can still miss — the
+# PDE cache. The µpaths where Merged = Yes contribute pde$_miss without
+# causes_walk, which removes the pde$_miss <= causes_walk facet and makes
+# observations with more misses than walks feasible.
+do LookupPde$;
+switch Pde$Status {
+  Hit  => pass;
+  Miss => incr load.pde$_miss
+};
+switch Merged {
+  Yes => done;
+  No  => pass
+};
+incr load.causes_walk;
+do StartWalk;
+done;

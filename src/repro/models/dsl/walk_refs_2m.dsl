@@ -1,0 +1,34 @@
+# walk_refs_2m — page-walker references of a 2 MB walk (Constraint 2's
+# subtlety).
+#
+# The PDE cache holds only pointers-to-page-tables, and a 2 MB
+# translation's PDE *is* the leaf — so the probe misses unconditionally
+# and every 2 MB walk increments pde$_miss (Table 1, Constraint 2). The
+# walk then reads the leaf PDE directly on a PDPTE-cache hit (1 load) or
+# the PDPTE and PDE on a miss (2 loads, root cache covering).
+incr load.causes_walk;
+do LookupPde$;
+incr load.pde$_miss;
+switch Pdpte$Status {
+  Hit => switch RefMix1 {
+    l1  => incr walk_ref.l1;
+    l2  => incr walk_ref.l2;
+    l3  => incr walk_ref.l3;
+    mem => incr walk_ref.mem
+  };
+  Miss => switch RefMix2 {
+    l1_l1   => { incr walk_ref.l1; incr walk_ref.l1; };
+    l1_l2   => { incr walk_ref.l1; incr walk_ref.l2; };
+    l1_l3   => { incr walk_ref.l1; incr walk_ref.l3; };
+    l1_mem  => { incr walk_ref.l1; incr walk_ref.mem; };
+    l2_l2   => { incr walk_ref.l2; incr walk_ref.l2; };
+    l2_l3   => { incr walk_ref.l2; incr walk_ref.l3; };
+    l2_mem  => { incr walk_ref.l2; incr walk_ref.mem; };
+    l3_l3   => { incr walk_ref.l3; incr walk_ref.l3; };
+    l3_mem  => { incr walk_ref.l3; incr walk_ref.mem; };
+    mem_mem => { incr walk_ref.mem; incr walk_ref.mem; }
+  }
+};
+incr load.walk_done_2m;
+incr load.walk_done;
+done;

@@ -1,0 +1,38 @@
+# walk_refs_4k — page-walker references of a 4 KB walk entered via the
+# PDE cache (Table 1's Constraint 3 family).
+#
+# A PDE-cache hit hands the walker a pointer to the page table, so the
+# walk reads exactly one entry (the PTE); a miss forces the PDE read as
+# well (we model the PDPTE cache as covering, the regime of the paper's
+# 64 MB linear runs). Each read is served by some level of the data-cache
+# hierarchy, expressed as a multiset choice so µpaths that differ only in
+# load interleaving collapse onto one signature:
+#   walk_ref.l1 + walk_ref.l2 + walk_ref.l3 + walk_ref.mem
+#     == 1 + load.pde$_miss   on every µpath.
+incr load.causes_walk;
+do LookupPde$;
+switch Pde$Status {
+  Hit => switch RefMix1 {
+    l1  => incr walk_ref.l1;
+    l2  => incr walk_ref.l2;
+    l3  => incr walk_ref.l3;
+    mem => incr walk_ref.mem
+  };
+  Miss => {
+    incr load.pde$_miss;
+    switch RefMix2 {
+      l1_l1   => { incr walk_ref.l1; incr walk_ref.l1; };
+      l1_l2   => { incr walk_ref.l1; incr walk_ref.l2; };
+      l1_l3   => { incr walk_ref.l1; incr walk_ref.l3; };
+      l1_mem  => { incr walk_ref.l1; incr walk_ref.mem; };
+      l2_l2   => { incr walk_ref.l2; incr walk_ref.l2; };
+      l2_l3   => { incr walk_ref.l2; incr walk_ref.l3; };
+      l2_mem  => { incr walk_ref.l2; incr walk_ref.mem; };
+      l3_l3   => { incr walk_ref.l3; incr walk_ref.l3; };
+      l3_mem  => { incr walk_ref.l3; incr walk_ref.mem; };
+      mem_mem => { incr walk_ref.mem; incr walk_ref.mem; }
+    }
+  }
+};
+incr load.walk_done;
+done;

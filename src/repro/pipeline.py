@@ -4,6 +4,14 @@
 (DSL source or µDD) → model cone → counter confidence regions →
 feasibility testing → violation reporting. It is the API the examples
 and benchmarks drive.
+
+The pipeline also runs in reverse: :meth:`CounterPoint.simulate`
+executes a µDD through :mod:`repro.sim` and returns observations in the
+same shape the analysis methods consume, and
+:meth:`CounterPoint.cross_refute` runs the full closed loop — simulate
+each model, sweep every model against each synthetic dataset — whose
+diagonal should be all-feasible and whose off-diagonal entries expose
+which mechanism hypotheses the data can distinguish.
 """
 
 from repro.cone import (
@@ -147,3 +155,56 @@ class CounterPoint:
             sweep = self.sweep(model, observations, **sweep_options)
             results[sweep.model_name] = sweep
         return results
+
+    # -- simulation (the closed loop) -----------------------------------------
+    def simulate(self, model, n_uops=20000, **options):
+        """Execute a model and return a synthetic observation.
+
+        ``model`` is anything :meth:`model_cone` accepts as a µDD source
+        (µDD, DSL text) or a bundled-model name. Options pass through to
+        :func:`repro.sim.simulate_observation` (``weights``, ``seed``,
+        ``noisy``, ``n_intervals``, ...). The result is an
+        :class:`~repro.models.dataset.Observation`: feed ``.point()`` to
+        :meth:`analyze` or the object itself to :meth:`sweep`.
+        """
+        from repro.sim import simulate_observation
+
+        return simulate_observation(model, n_uops=n_uops, **options)
+
+    def simulate_dataset(self, model, n_observations, n_uops=20000, **options):
+        """Independent simulated observations of one model, ready for
+        :meth:`sweep` / :meth:`compare`."""
+        from repro.sim import simulate_dataset
+
+        return simulate_dataset(model, n_observations, n_uops=n_uops, **options)
+
+    def cross_refute(
+        self, models, n_observations=3, n_uops=20000, weights=None, seed=0
+    ):
+        """The closed-loop matrix: simulate each model, sweep all models.
+
+        Returns ``{observed_name: {candidate_name: ModelSweep}}``. Every
+        diagonal entry is feasible by construction (counter
+        conservation: simulated totals lie in the generating model's
+        cone); an off-diagonal infeasible entry means the candidate's
+        mechanisms cannot explain the observed model's behaviour.
+        """
+        from repro.sim import as_mudd, simulate_dataset
+
+        mudds = [as_mudd(model) for model in models]
+        matrix = {}
+        for row, observed in enumerate(mudds):
+            observations = simulate_dataset(
+                observed,
+                n_observations,
+                n_uops=n_uops,
+                weights=weights,
+                seed=seed + 1000 * row,
+            )
+            counters = observations[0].samples.counters
+            sweeps = {}
+            for candidate in mudds:
+                cone = ModelCone.from_mudd(candidate, counters=counters)
+                sweeps[candidate.name] = self.sweep(cone, observations)
+            matrix[observed.name] = sweeps
+        return matrix

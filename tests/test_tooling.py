@@ -342,3 +342,47 @@ class TestCli:
 
         code = main(["analyze", model_file, "--observation", "garbage"])
         assert code == 2
+
+    def test_simulate_command(self, model_file, capsys):
+        from repro.cli import main
+
+        assert main(["simulate", model_file, "--n-uops", "400", "--seed", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "load.causes_walk=" in output
+        assert "load.pde$_miss=" in output
+
+    def test_simulate_is_deterministic(self, model_file, capsys):
+        from repro.cli import main
+
+        outputs = []
+        for _ in range(2):
+            assert main(["simulate", model_file, "--n-uops", "400", "--seed", "7"]) == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+
+    def test_simulate_closed_loop_refutes(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["simulate", "--bundled", "merging_load_side", "--n-uops", "2000",
+             "--weight", "Merged=Yes:3", "--analyze", "no_merging_load_side"]
+        )
+        assert code == 1
+        assert "INFEASIBLE" in capsys.readouterr().out
+
+    def test_simulate_closed_loop_self_feasible(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["simulate", "--bundled", "merging_load_side", "--n-uops", "2000",
+             "--traces", "4", "--analyze", "merging_load_side"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "mean totals" in output
+        assert "feasible" in output
+
+    def test_simulate_bad_weight(self, model_file, capsys):
+        from repro.cli import main
+
+        assert main(["simulate", model_file, "--weight", "garbage"]) == 2

@@ -4,12 +4,45 @@ Each benchmark module regenerates one table or figure from the paper's
 evaluation. The fixtures here build the expensive shared artefacts once
 per session: the observation dataset (the workload matrix run on the
 simulated Haswell MMU) and the m-series model cones.
+
+After every run that collected timing data, a machine-readable
+``BENCH_results.json`` (benchmark name → median seconds) is written at
+the repository root so the perf trajectory is tracked across PRs: CI
+uploads it as an artifact, and a before/after pair of these files is the
+evidence for any optimisation claim. Set ``BENCH_RESULTS_PATH`` to
+redirect (e.g. to keep a baseline file while re-running).
 """
+
+import json
+import os
 
 import pytest
 
 from repro.models import M_SERIES, build_model_cone, noisy_dataset, standard_dataset
 from repro.pipeline import CounterPoint
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Dump ``{benchmark fullname: median seconds}`` for trend tracking."""
+    benchmark_session = getattr(session.config, "_benchmarksession", None)
+    if benchmark_session is None:
+        return
+    medians = {}
+    for bench in benchmark_session.benchmarks:
+        if getattr(bench, "has_error", False):
+            continue
+        try:
+            medians[bench.fullname] = bench.stats.median
+        except Exception:  # a benchmark that never ran has no stats
+            continue
+    if not medians:
+        return
+    target = os.environ.get("BENCH_RESULTS_PATH") or os.path.join(
+        str(session.config.rootpath), "BENCH_results.json"
+    )
+    with open(target, "w") as handle:
+        json.dump(medians, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 @pytest.fixture(scope="session")

@@ -8,7 +8,11 @@ Given a µDD, this subpackage:
 * tests **feasibility** of point observations and of counter confidence
   regions against the cone with a linear program
   (:func:`test_point_feasibility`, :func:`test_region_feasibility`;
-  Appendix A),
+  Appendix A) — batched with an exact facet pre-screen in
+  :func:`test_points_feasibility`,
+* **caches model cones by µDD content** (:mod:`repro.cone.cache`), so
+  signature enumeration and constraint deduction run once per model per
+  process,
 * **deduces the model constraints** — the cone's H-representation — via
   the exact pipeline of Section 6 (:func:`deduce_constraints`), and
 * **identifies which constraints an infeasible observation violates**
@@ -17,10 +21,17 @@ Given a µDD, this subpackage:
 """
 
 from repro.cone.model_cone import ModelCone
+from repro.cone.cache import (
+    ModelConeCache,
+    default_cache,
+    get_model_cone,
+    mudd_fingerprint,
+)
 from repro.cone.constraints import ConstraintSet, ModelConstraint, deduce_constraints
 from repro.cone.feasibility import (
     FeasibilityResult,
     test_point_feasibility,
+    test_points_feasibility,
     test_region_feasibility,
 )
 from repro.cone.violations import Violation, identify_violations
@@ -30,11 +41,16 @@ __all__ = [
     "ConstraintSet",
     "FeasibilityResult",
     "ModelCone",
+    "ModelConeCache",
     "ModelConstraint",
     "Violation",
     "deduce_constraints",
+    "default_cache",
+    "get_model_cone",
     "identify_violations",
+    "mudd_fingerprint",
     "separating_constraint",
     "test_point_feasibility",
+    "test_points_feasibility",
     "test_region_feasibility",
 ]

@@ -1,0 +1,150 @@
+"""Content-addressed model-cone cache.
+
+Building a :class:`~repro.cone.model_cone.ModelCone` from a µDD means
+enumerating every µpath, and asking it for constraints means running the
+exponential Section 6 deduction — yet `analyze`/`sweep`/`compare`/
+`cross_refute` and the simulation scenarios routinely revisit the same
+model many times. This module provides an LRU cache keyed by a
+*canonical fingerprint* of the µDD (node structure and labels, decision
+branch values, and the counter ordering — node ids are relabelled by a
+deterministic traversal, so structurally identical µDDs hit the same
+entry regardless of how their ids were allocated).
+
+Caching the :class:`ModelCone` object transitively caches everything it
+memoises: the signature matrix, the float fast-path arrays, and —
+because :meth:`ModelCone.constraints` is itself cached per instance —
+the deduced facets. A model's constraints are therefore computed at most
+once per process regardless of how many pipeline calls touch it.
+
+:class:`CounterPoint` instances hold their own cache by default (opt out
+with ``CounterPoint(cache=False)``); the module-level
+:func:`get_model_cone` serves callers outside a pipeline instance, such
+as :func:`repro.sim.scenarios.closed_loop`.
+"""
+
+import hashlib
+from collections import OrderedDict
+
+from repro.cone.model_cone import ModelCone
+from repro.errors import AnalysisError
+from repro.mudd import DECISION, MuDD
+
+
+def mudd_fingerprint(mudd, counters=None):
+    """Canonical content hash of a µDD (plus counter ordering).
+
+    Node ids are replaced by visit order of a deterministic DFS that
+    sorts branches by their value labels, so the fingerprint depends
+    only on structure, labels, and branch values — not on id allocation
+    or insertion order. Two µDDs with equal fingerprints generate the
+    same µpath signatures over the same counter ordering.
+
+    When ``counters`` is ``None`` the µDD's own counter ordering is
+    folded into the key: ``mudd.counters`` depends on node-id
+    allocation, so two structurally identical µDDs can disagree on it —
+    they must then not share a cache entry, or observations aligned to
+    one ordering would be read against the other.
+    """
+    if not isinstance(mudd, MuDD):
+        raise AnalysisError("mudd_fingerprint expects a MuDD")
+    if counters is None:
+        counters = mudd.counters
+    start = mudd.start_node()
+    order = {}
+    pieces = []
+    stack = [start.node_id]
+    while stack:
+        node_id = stack.pop()
+        if node_id in order:
+            continue
+        order[node_id] = len(order)
+        edges = mudd.out_edges(node_id)
+        if mudd.nodes[node_id].kind == DECISION:
+            edges.sort(key=lambda edge: str(edge.value))
+        # Push in reverse so the first branch is visited first.
+        for edge in reversed(edges):
+            stack.append(edge.target)
+    for node_id, position in sorted(order.items(), key=lambda item: item[1]):
+        node = mudd.nodes[node_id]
+        edges = mudd.out_edges(node_id)
+        if node.kind == DECISION:
+            edges.sort(key=lambda edge: str(edge.value))
+        pieces.append(
+            (
+                node.kind,
+                node.label,
+                tuple((str(edge.value), order[edge.target]) for edge in edges),
+            )
+        )
+    payload = repr((mudd.name, tuple(pieces), tuple(counters)))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ModelConeCache:
+    """A small LRU of :class:`ModelCone` objects keyed by µDD content.
+
+    Thread-unsafe by design (the pipeline is single-threaded); sharing
+    across :class:`CounterPoint` instances is safe because cached cones
+    are treated as immutable by all callers.
+    """
+
+    def __init__(self, maxsize=128):
+        if maxsize <= 0:
+            raise AnalysisError("cache maxsize must be positive")
+        self.maxsize = maxsize
+        self._entries = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self):
+        return len(self._entries)
+
+    def get(self, mudd, counters=None, max_paths=2000000):
+        """The model cone of ``mudd``, built at most once per content."""
+        key = (mudd_fingerprint(mudd, counters=counters), max_paths)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return entry
+        self.misses += 1
+        cone = ModelCone.from_mudd(mudd, counters=counters, max_paths=max_paths)
+        self._entries[key] = cone
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return cone
+
+    def clear(self):
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __repr__(self):
+        return "ModelConeCache(%d/%d entries, %d hits, %d misses)" % (
+            len(self._entries),
+            self.maxsize,
+            self.hits,
+            self.misses,
+        )
+
+
+_default_cache = ModelConeCache()
+
+
+def get_model_cone(mudd, counters=None, max_paths=2000000):
+    """Fetch ``mudd``'s model cone from the process-wide default cache."""
+    return _default_cache.get(mudd, counters=counters, max_paths=max_paths)
+
+
+def default_cache():
+    """The process-wide :class:`ModelConeCache` behind
+    :func:`get_model_cone` (exposed for stats and explicit clearing)."""
+    return _default_cache
+
+
+__all__ = [
+    "ModelConeCache",
+    "default_cache",
+    "get_model_cone",
+    "mudd_fingerprint",
+]

@@ -21,6 +21,12 @@ feasibility testing never calls this code.
 from repro.errors import AnalysisError
 from repro.geometry import Cone, EQUALITY, INEQUALITY
 
+# Generator counts at or below this skip the LP interior-removal screen:
+# the per-LP fixed cost exceeds what double description saves on inputs
+# this small. Purely a performance knob — the deduced constraints are
+# identical either way.
+_REMOVAL_THRESHOLD = 16
+
 
 class ModelConstraint:
     """A deduced model constraint with counter-name rendering.
@@ -144,7 +150,10 @@ def deduce_constraints(signatures, counters, remove_interior=True, lp_backend="s
     remove_interior:
         Apply the LP-based interior-signature removal step before facet
         enumeration (step 3). Disabling it changes performance only; the
-        resulting constraint set is identical.
+        resulting constraint set is identical. Small generator sets skip
+        the LP screen automatically — per-LP fixed costs dominate there
+        and the double description method handles a handful of interior
+        generators at no measurable cost.
     lp_backend:
         Backend for the interior-removal LPs. The default float backend
         is fast; exactness is restored afterwards by verifying every
@@ -158,7 +167,7 @@ def deduce_constraints(signatures, counters, remove_interior=True, lp_backend="s
     inequalities.
     """
     full_cone = Cone(signatures, ambient_dim=len(counters))
-    if remove_interior:
+    if remove_interior and len(full_cone.generators) > _REMOVAL_THRESHOLD:
         kept = full_cone.irredundant_generators(backend=lp_backend)
         facets = _facets_with_verification(full_cone, kept, len(counters))
     else:

@@ -10,7 +10,19 @@ Implements the linear program of Appendix A. The LP instantiates:
   chi2)`` for each principal direction ``e_i``.
 
 A point observation is the degenerate case where the box has zero
-half-lengths in every direction.
+half-lengths in every direction — and degenerates further: the counter
+variables are pinned to the observed values, so
+:func:`test_point_feasibility` eliminates them and solves the reduced
+flow system ``S^T f = v, f >= 0`` directly. On the ``"scipy"`` backend
+the reduced system goes straight to ``scipy.optimize.linprog`` against a
+float signature matrix cached on the model cone, bypassing the LP
+modelling layer entirely.
+
+:func:`test_points_feasibility` is the batched entry point: when the
+model's facet constraints have already been deduced, every observation
+is first screened against them with exact integer dot products — a facet
+violation is an exact refutation certificate, no LP needed — and only
+the survivors run the flow LP.
 
 Feasibility answers come from the exact rational simplex by default, so
 "infeasible" verdicts are exact consequences of the inputs.
@@ -36,14 +48,20 @@ class FeasibilityResult:
     witness:
         When feasible, the counter vector inside both the region and the
         cone.
+    certificate:
+        When infeasibility was established by the facet screen, the
+        violated :class:`~repro.cone.constraints.ModelConstraint` — an
+        exact refutation certificate (no LP was run). ``None`` when the
+        verdict came from an LP.
     """
 
-    __slots__ = ("feasible", "flows", "witness")
+    __slots__ = ("feasible", "flows", "witness", "certificate")
 
-    def __init__(self, feasible, flows=None, witness=None):
+    def __init__(self, feasible, flows=None, witness=None, certificate=None):
         self.feasible = feasible
         self.flows = flows
         self.witness = witness
+        self.certificate = certificate
 
     def __bool__(self):
         return self.feasible
@@ -75,21 +93,88 @@ def _flow_lp(model_cone):
     return lp, flow_names, counter_names
 
 
+def _point_feasibility_scipy(model_cone, vector):
+    """Reduced flow system on HiGHS against the cached signature matrix.
+
+    Prefers the persistent per-cone model (build once, rebind the
+    right-hand side per observation — :mod:`repro.lp.highs_fast`);
+    degrades to one ``scipy.optimize.linprog`` call when the bindings
+    are unavailable.
+    """
+    from repro.lp import highs_fast
+
+    model = model_cone.flow_model()
+    if model is not None:
+        status = model.solve([float(value) for value in vector])
+        if status == highs_fast.OPTIMAL:
+            return FeasibilityResult(
+                True, flows=model.solution(), witness=list(vector)
+            )
+        if status in (highs_fast.INFEASIBLE, highs_fast.UNBOUNDED):
+            return FeasibilityResult(False)
+        raise AnalysisError("HiGHS feasibility solve failed")
+
+    import numpy as np
+    from scipy.optimize import linprog
+
+    matrix = model_cone.signature_array()
+    result = linprog(
+        np.zeros(matrix.shape[1]),
+        A_eq=matrix,
+        b_eq=np.asarray([float(value) for value in vector]),
+        bounds=(0, None),
+        method="highs",
+    )
+    if result.status in (2, 3):
+        return FeasibilityResult(False)
+    if not result.success:
+        raise AnalysisError("HiGHS feasibility LP failed: %s" % (result.message,))
+    return FeasibilityResult(True, flows=list(result.x), witness=list(vector))
+
+
 def test_point_feasibility(model_cone, observation, backend="exact"):
     """Is a noise-free observation inside the model cone?
 
     ``observation`` is a counter-name mapping or an ordered sequence.
+    The counter variables of the Appendix A LP are pinned by the
+    observation, so the reduced system ``S^T f = v, f >= 0`` is solved
+    instead (identical verdicts, much smaller program).
     """
     vector = model_cone.vector_from_observation(observation)
-    lp, flow_names, counter_names = _flow_lp(model_cone)
-    for coord, v_name in enumerate(counter_names):
-        lp.add_constraint({v_name: 1}, EQ, vector[coord])
+    if any(value < 0 for value in vector):
+        # Counters are non-negative (Appendix A); no flow can explain a
+        # negative observation.
+        return FeasibilityResult(False)
+    if not model_cone.signatures:
+        feasible = all(value == 0 for value in vector)
+        return FeasibilityResult(
+            feasible, flows=[] if feasible else None,
+            witness=list(vector) if feasible else None,
+        )
+    if backend == "scipy":
+        return _point_feasibility_scipy(model_cone, vector)
+    lp = LinearProgram()
+    flow_names = []
+    for index in range(len(model_cone.signatures)):
+        name = "flow_%d" % index
+        lp.add_variable(name)
+        flow_names.append(name)
+    for coord in range(len(model_cone.counters)):
+        coefficients = {
+            flow_names[index]: Fraction(signature[coord])
+            for index, signature in enumerate(model_cone.signatures)
+            if signature[coord] != 0
+        }
+        if not coefficients:
+            if vector[coord] != 0:
+                return FeasibilityResult(False)
+            continue
+        lp.add_constraint(coefficients, EQ, vector[coord], name="flow_eq_%d" % coord)
     result = solve(lp, backend=backend)
     if result.status != Status.OPTIMAL:
         return FeasibilityResult(False)
     flows = [result.assignment[name] for name in flow_names]
-    witness = [result.assignment[name] for name in counter_names]
-    return FeasibilityResult(True, flows=flows, witness=witness)
+    return FeasibilityResult(True, flows=flows, witness=list(vector))
 
 
 def test_region_feasibility(model_cone, region, backend="exact"):
@@ -128,3 +213,52 @@ def test_region_feasibility(model_cone, region, backend="exact"):
     flows = [result.assignment[name] for name in flow_names]
     witness = [result.assignment[name] for name in counter_names]
     return FeasibilityResult(True, flows=flows, witness=witness)
+
+
+def test_points_feasibility(model_cone, observations, backend="exact", screen="auto"):
+    """Batched point feasibility: facet screen first, LP for survivors.
+
+    Parameters
+    ----------
+    model_cone:
+        The :class:`~repro.cone.model_cone.ModelCone` under test.
+    observations:
+        Iterable of counter-name mappings or ordered sequences.
+    backend:
+        LP backend for the surviving observations.
+    screen:
+        ``"auto"`` (default) screens against the model's facet halfspaces
+        only when constraint deduction already ran for this cone (the
+        paper's rule that feasibility testing must never *trigger* the
+        exponential deduction); ``"always"`` forces deduction once and
+        screens everything; ``"never"`` disables the screen.
+
+    Returns
+    -------
+    list of :class:`FeasibilityResult`, one per observation, in order.
+    Screen-refuted observations carry the violated constraint as an
+    exact ``certificate`` (integer dot products — no LP involved); a
+    screen *pass* is also exact (the H-representation is complete, by
+    Minkowski–Weyl), but survivors still run the flow LP so feasible
+    results carry a flow witness.
+    """
+    if screen not in ("auto", "always", "never"):
+        raise AnalysisError("unknown screen mode %r" % (screen,))
+    observations = list(observations)
+    vectors = [model_cone.vector_from_observation(o) for o in observations]
+    constraints = None
+    if screen == "always" or (screen == "auto" and model_cone.has_deduced_constraints()):
+        constraints = model_cone.constraints()
+    results = []
+    for observation, vector in zip(observations, vectors):
+        certificate = None
+        if constraints is not None:
+            for constraint in constraints:
+                if not constraint.is_satisfied_by(vector):
+                    certificate = constraint
+                    break
+        if certificate is not None:
+            results.append(FeasibilityResult(False, certificate=certificate))
+            continue
+        results.append(test_point_feasibility(model_cone, vector, backend=backend))
+    return results

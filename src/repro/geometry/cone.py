@@ -18,6 +18,11 @@ objects. The conversion follows Section 6 of the paper:
 This is mathematically equivalent to the paper's "convex hull of
 ``{0} ∪ generators``, keep the faces through the origin" construction,
 but avoids general convex-hull machinery.
+
+Generators are stored as gcd-reduced plain-int vectors (the integer fast
+path), and membership LPs can bypass the modelling layer entirely on the
+``"scipy"`` backend via a cached float matrix — the win that makes the
+interior-removal step of constraint deduction cheap.
 """
 
 from fractions import Fraction
@@ -26,15 +31,13 @@ from repro.errors import GeometryError
 from repro.geometry.double_description import extreme_rays
 from repro.geometry.halfspace import EQUALITY, INEQUALITY, ConeConstraint
 from repro.linalg import (
-    as_fraction_matrix,
     as_fraction_vector,
-    dot,
+    int_dot,
+    int_row,
     is_zero_vector,
-    nullspace,
     rank,
     row_space_basis,
-    rref,
-    scale_to_integers,
+    rref_fast,
     solve,
 )
 
@@ -45,17 +48,84 @@ def coordinates_in_basis(basis, vector):
     Solves ``basis^T c = vector`` exactly; raises :class:`GeometryError`
     if ``vector`` is outside the span.
     """
+    return coordinates_in_basis_many(basis, [vector])[0]
+
+
+def coordinates_in_basis_many(basis, vectors):
+    """Span coordinates of many vectors in one elimination.
+
+    One RREF of ``[basis^T | v_1 ... v_k]`` replaces ``k`` independent
+    solves — the batched fast path for projecting all generators at once.
+    Raises :class:`GeometryError` if any vector lies outside the span.
+    """
     dim = len(basis)
+    n = len(basis[0]) if basis else 0
     augmented = []
-    for j in range(len(vector)):
-        augmented.append([basis[k][j] for k in range(dim)] + [vector[j]])
-    reduced, pivots = rref(augmented)
-    if any(col == dim for col in pivots):
+    for j in range(n):
+        row = [basis[k][j] for k in range(dim)]
+        row.extend(vector[j] for vector in vectors)
+        augmented.append(row)
+    reduced, pivots = rref_fast(augmented)
+    if any(col >= dim for col in pivots):
         raise GeometryError("vector lies outside the basis span")
-    coords = [Fraction(0)] * dim
-    for row_index, pivot_col in enumerate(pivots):
-        coords[pivot_col] = reduced[row_index][dim]
-    return coords
+    results = []
+    for offset in range(len(vectors)):
+        coords = [Fraction(0)] * dim
+        for row_index, pivot_col in enumerate(pivots):
+            coords[pivot_col] = reduced[row_index][dim + offset]
+        results.append(coords)
+    return results
+
+
+def _membership_lp_exact(generators, point, backend):
+    """Does ``point`` lie in ``cone(generators)``? Direct LP build over
+    flow variables (no Cone construction)."""
+    from repro.lp import EQ, LinearProgram, Status, solve as lp_solve
+
+    lp = LinearProgram()
+    flow_names = []
+    for i in range(len(generators)):
+        name = "f%d" % i
+        lp.add_variable(name)
+        flow_names.append(name)
+    for coord in range(len(point)):
+        coefficients = {
+            flow_names[i]: generators[i][coord]
+            for i in range(len(generators))
+            if generators[i][coord] != 0
+        }
+        if not coefficients:
+            if point[coord] != 0:
+                return False
+            continue
+        lp.add_constraint(coefficients, EQ, point[coord])
+    return lp_solve(lp, backend=backend).status == Status.OPTIMAL
+
+
+def _membership_scipy(generator_array, point):
+    """Float membership LP straight on ``scipy.optimize.linprog``.
+
+    ``generator_array`` is the cached ``N x P`` float matrix (one column
+    per generator). Much faster than building a
+    :class:`~repro.lp.problem.LinearProgram` per query; exactness is the
+    caller's concern (same contract as the ``"scipy"`` LP backend).
+    """
+    import numpy as np
+    from scipy.optimize import linprog
+
+    b_eq = np.asarray([float(value) for value in point])
+    result = linprog(
+        np.zeros(generator_array.shape[1]),
+        A_eq=generator_array,
+        b_eq=b_eq,
+        bounds=(0, None),
+        method="highs",
+    )
+    if result.status == 2:
+        return False
+    if not result.success:
+        raise GeometryError("HiGHS membership LP failed: %s" % (result.message,))
+    return True
 
 
 class Cone:
@@ -65,13 +135,14 @@ class Cone:
     ----------
     generators:
         Iterable of ambient-dimension vectors. Zero vectors are dropped;
-        duplicates (up to positive scaling) are merged.
+        duplicates (up to positive scaling) are merged. Stored as
+        gcd-reduced int vectors.
     ambient_dim:
         Required when ``generators`` may be empty.
     """
 
     def __init__(self, generators, ambient_dim=None):
-        generators = [as_fraction_vector(g) for g in generators]
+        generators = [int_row(g) for g in generators]
         if ambient_dim is None:
             if not generators:
                 raise GeometryError("ambient_dim required for an empty generator set")
@@ -85,14 +156,15 @@ class Cone:
         seen = set()
         unique = []
         for g in generators:
-            if is_zero_vector(g):
+            if not any(g):
                 continue
-            normalized = scale_to_integers(g)
-            key = tuple(normalized)
-            if key not in seen:
-                seen.add(key)
-                unique.append(normalized)
+            if g not in seen:
+                seen.add(g)
+                unique.append(list(g))
         self.generators = unique
+        self._scipy_matrix = None
+        self._scipy_model = None
+        self._scipy_model_built = False
 
     @classmethod
     def from_generators(cls, generators, ambient_dim=None):
@@ -130,14 +202,26 @@ class Cone:
                 constraints.append(ConeConstraint(normal, EQUALITY))
             return constraints
 
-        generator_matrix = as_fraction_matrix(self.generators)
-        constraints = [
-            ConeConstraint(normal, EQUALITY) for normal in nullspace(generator_matrix)
-        ]
+        # One fraction-free elimination yields the span basis, and its
+        # free-variable construction the orthogonal-complement equalities.
+        reduced, pivots = rref_fast(self.generators)
+        dim = len(pivots)
+        pivot_set = set(pivots)
+        constraints = []
+        for free in range(n):
+            if free in pivot_set:
+                continue
+            normal = [Fraction(0)] * n
+            normal[free] = Fraction(1)
+            for row_index, pivot_col in enumerate(pivots):
+                normal[pivot_col] = -reduced[row_index][free]
+            constraints.append(ConeConstraint(normal, EQUALITY))
 
-        basis = self.span_basis()
-        dim = len(basis)
-        coords = [coordinates_in_basis(basis, g) for g in self.generators]
+        # Scaling the basis rows to coprime ints changes only the span
+        # coordinates (by a positive diagonal map) — the lifted facet
+        # normals are unchanged — and makes the Gram matrix pure-int.
+        basis = [list(int_row(reduced[k])) for k in range(dim)]
+        coords = coordinates_in_basis_many(basis, self.generators)
 
         if dim == 1:
             # Within a 1-D span the cone is either a ray or the whole
@@ -153,7 +237,7 @@ class Cone:
         # A facet normal y in span coordinates means "y . c(x) >= 0". To
         # express it on ambient points x = B^T c we need n with B n = y;
         # choosing n in the span gives n = B^T (B B^T)^{-1} y.
-        gram = [[dot(basis[i], basis[j]) for j in range(dim)] for i in range(dim)]
+        gram = [[int_dot(basis[i], basis[j]) for j in range(dim)] for i in range(dim)]
         dual_rays = extreme_rays(coords)
         for ray in dual_rays:
             weights = solve(gram, ray)
@@ -167,9 +251,27 @@ class Cone:
         return constraints
 
     # -- membership ------------------------------------------------------
+    def _generator_array(self):
+        """Cached ``N x P`` float matrix of generators (scipy fast path)."""
+        import numpy as np
+
+        if self._scipy_matrix is None:
+            self._scipy_matrix = np.array(self.generators, dtype=float).T
+        return self._scipy_matrix
+
+    def _feasibility_model(self):
+        """Cached persistent HiGHS model over the generator matrix
+        (``None`` when the fast bindings are unavailable)."""
+        if not self._scipy_model_built:
+            from repro.lp.highs_fast import make_feasibility_model
+
+            self._scipy_model = make_feasibility_model(self._generator_array())
+            self._scipy_model_built = True
+        return self._scipy_model
+
     def contains(self, point, backend="exact"):
         """Exact membership test via a feasibility LP over flows."""
-        from repro.lp import EQ, LinearProgram, Status, solve
+        from repro.lp import highs_fast
 
         point = as_fraction_vector(point)
         if len(point) != self.ambient_dim:
@@ -179,24 +281,17 @@ class Cone:
             )
         if not self.generators:
             return is_zero_vector(point)
-        lp = LinearProgram()
-        flow_names = []
-        for i in range(len(self.generators)):
-            name = "f%d" % i
-            lp.add_variable(name)
-            flow_names.append(name)
-        for coord in range(self.ambient_dim):
-            coefficients = {
-                flow_names[i]: self.generators[i][coord]
-                for i in range(len(self.generators))
-                if self.generators[i][coord] != 0
-            }
-            if not coefficients:
-                if point[coord] != 0:
+        if backend == "scipy":
+            model = self._feasibility_model()
+            if model is not None:
+                status = model.solve([float(v) for v in point])
+                if status == highs_fast.OPTIMAL:
+                    return True
+                if status in (highs_fast.INFEASIBLE, highs_fast.UNBOUNDED):
                     return False
-                continue
-            lp.add_constraint(coefficients, EQ, point[coord])
-        return solve(lp, backend=backend).status == Status.OPTIMAL
+                raise GeometryError("HiGHS membership solve failed")
+            return _membership_scipy(self._generator_array(), point)
+        return _membership_lp_exact(self.generators, point, backend)
 
     def is_subset_of(self, other, backend="exact"):
         """True iff every generator of ``self`` lies in ``other``."""
@@ -207,8 +302,9 @@ class Cone:
     def is_generator_redundant(self, index):
         """Whether generator ``index`` lies in the cone of the others."""
         others = [g for i, g in enumerate(self.generators) if i != index]
-        reduced = Cone(others, ambient_dim=self.ambient_dim)
-        return reduced.contains(self.generators[index])
+        if not others:
+            return False
+        return _membership_lp_exact(others, self.generators[index], "exact")
 
     def irredundant_generators(self, backend="exact"):
         """Generators with cone-interior members removed (Section 6,
@@ -220,15 +316,57 @@ class Cone:
         :func:`repro.cone.constraints.deduce_constraints`) verify the
         resulting H-representation against the original generators and
         restore any casualty.
+
+        Membership LPs are issued directly against the kept-generator
+        matrix (no intermediate ``Cone`` rebuilds). On the ``"scipy"``
+        backend one persistent HiGHS model serves the whole O(P^2) loop:
+        testing "candidate in cone(kept - candidate)" is the same matrix
+        with the candidate's column pinned to zero, and removed
+        generators simply stay pinned.
         """
+        if backend == "scipy" and len(self.generators) > 1:
+            from repro.lp import highs_fast
+
+            model = self._feasibility_model()
+            if model is not None:
+                kept_flags = [True] * len(self.generators)
+                n_kept = len(self.generators)
+                for i, candidate in enumerate(self.generators):
+                    if n_kept <= 1:
+                        break
+                    model.exclude_column(i)
+                    rhs = [float(v) for v in candidate]
+                    if model.solve(rhs) == highs_fast.OPTIMAL:
+                        kept_flags[i] = False  # redundant: stays pinned
+                        n_kept -= 1
+                    else:
+                        model.include_column(i)
+                # The model is shared with contains(): restore the
+                # pinned columns before handing it back.
+                for i, keep in enumerate(kept_flags):
+                    if not keep:
+                        model.include_column(i)
+                return [
+                    list(g)
+                    for g, keep in zip(self.generators, kept_flags)
+                    if keep
+                ]
         kept = list(self.generators)
         index = 0
         while index < len(kept):
             candidate = kept[index]
             rest = kept[:index] + kept[index + 1 :]
-            if rest and Cone(rest, ambient_dim=self.ambient_dim).contains(
-                candidate, backend=backend
-            ):
+            if not rest:
+                break
+            if backend == "scipy":
+                import numpy as np
+
+                member = _membership_scipy(
+                    np.array(rest, dtype=float).T, candidate
+                )
+            else:
+                member = _membership_lp_exact(rest, candidate, backend)
+            if member:
                 kept.pop(index)
             else:
                 index += 1

@@ -1,4 +1,4 @@
-"""The double description (Motzkin et al.) method, exact over Fractions.
+"""The double description (Motzkin et al.) method, exact over integers.
 
 Given a *pointed* polyhedral cone in H-representation::
 
@@ -19,22 +19,50 @@ Algorithm
    ``a . r``; keep positive and zero rays, and for every *adjacent*
    positive/negative pair ``(p, n)`` emit the combination
    ``(a.p) n - (a.n) p`` (which lies on the hyperplane ``a . x = 0``).
-3. Adjacency uses the exact algebraic test: ``p`` and ``n`` are adjacent
-   iff the constraints active (tight) at both span a rank-``(d-2)``
-   subspace.
+3. Adjacency (``adjacency="bitset"``, the default) uses the classic
+   cddlib combinatorial test: active-constraint sets are kept as int
+   bitmasks, a candidate pair is discarded when fewer than ``d - 2``
+   constraints are tight at both, or when a *third* ray's active set
+   contains the pair's intersection (Fukuda & Prodon, Prop. 7 — exact
+   for the extreme rays of a pointed cone, which the DD invariant
+   maintains). Only on ties — more than ``d - 2`` common active
+   constraints, where degenerate inputs (e.g. duplicated rows) make the
+   count uninformative — does it confirm with the algebraic rank test.
+   ``adjacency="algebraic"`` forces the rank-``(d-2)`` test everywhere;
+   it is the reference implementation for the equivalence tests and
+   removes the O(d^3) rank call from the innermost loop when unused.
 
-Complexity is exponential in the worst case — exactly the behaviour the
-paper reports for constraint deduction (Figure 9b).
+Everything runs on gcd-reduced integer rows and rays (see
+:mod:`repro.linalg.intkernel`), so the inner loops are plain Python int
+arithmetic. Complexity is exponential in the worst case — exactly the
+behaviour the paper reports for constraint deduction (Figure 9b).
 """
 
 from repro.errors import GeometryError
-from repro.linalg import (
-    as_fraction_matrix,
-    dot,
-    rank,
-    scale_to_integers,
-    solve,
-)
+from repro.linalg import bareiss_rank, bareiss_solve, int_dot, int_row
+
+try:
+    _popcount = int.bit_count  # Python >= 3.10
+except AttributeError:  # pragma: no cover - exercised on 3.9 CI
+    def _popcount(mask):
+        return bin(mask).count("1")
+
+
+_ADJACENCY_MODES = ("bitset", "algebraic")
+
+
+def _int_matrix(inequalities):
+    """Validate and gcd-normalise the constraint rows to int tuples."""
+    matrix = [int_row(row) for row in inequalities]
+    if matrix:
+        width = len(matrix[0])
+        for row in matrix:
+            if len(row) != width:
+                raise GeometryError(
+                    "ragged constraint matrix: expected width %d, got %d"
+                    % (width, len(row))
+                )
+    return matrix
 
 
 def _independent_row_subset(matrix, dim):
@@ -43,7 +71,7 @@ def _independent_row_subset(matrix, dim):
     chosen_rows = []
     for index, row in enumerate(matrix):
         candidate = chosen_rows + [row]
-        if rank(candidate) == len(candidate):
+        if bareiss_rank(candidate) == len(candidate):
             chosen.append(index)
             chosen_rows.append(row)
             if len(chosen) == dim:
@@ -61,29 +89,71 @@ def _initial_simplicial_rays(matrix, chosen):
     the rays are the columns of the inverse of the chosen submatrix.
     """
     dim = len(chosen)
-    submatrix = [matrix[i] for i in chosen]
     rays = []
     for j in range(dim):
-        rhs = [1 if i == j else 0 for i in range(dim)]
-        rays.append(scale_to_integers(solve(submatrix, rhs)))
+        augmented = [
+            list(matrix[i]) + [1 if i_pos == j else 0]
+            for i_pos, i in enumerate(chosen)
+        ]
+        rays.append(int_row(bareiss_solve(augmented)))
     return rays
 
 
-def _active_set(matrix, indices, ray):
-    """Constraint indices (among ``indices``) tight at ``ray``."""
-    return frozenset(i for i in indices if dot(matrix[i], ray) == 0)
+def _active_mask(matrix, processed, ray):
+    """Bitmask of constraints (among ``processed`` indices) tight at
+    ``ray``; bit ``i`` corresponds to ``matrix[i]``."""
+    mask = 0
+    for i in processed:
+        if int_dot(matrix[i], ray) == 0:
+            mask |= 1 << i
+    return mask
 
 
-def _adjacent(matrix, dim, ray_a_active, ray_b_active):
-    """Exact algebraic adjacency test for two extreme rays."""
-    common = ray_a_active & ray_b_active
-    if len(common) < dim - 2:
+def _mask_rows(matrix, mask):
+    """The constraint rows whose bits are set in ``mask``."""
+    rows = []
+    index = 0
+    while mask:
+        if mask & 1:
+            rows.append(matrix[index])
+        mask >>= 1
+        index += 1
+    return rows
+
+
+def _adjacent_algebraic(matrix, dim, common_mask):
+    """Exact algebraic adjacency: the constraints tight at both rays must
+    span a rank-``(d-2)`` subspace."""
+    if _popcount(common_mask) < dim - 2:
         return False
-    submatrix = [matrix[i] for i in common]
-    return rank(submatrix) == dim - 2
+    return bareiss_rank(_mask_rows(matrix, common_mask)) == dim - 2
 
 
-def extreme_rays(inequalities):
+def _adjacent_bitset(matrix, dim, masks, p, n):
+    """Combinatorial adjacency with bitmask active sets.
+
+    ``masks`` must cover *all* current extreme rays; the pair ``(p, n)``
+    is adjacent iff no third ray's active set contains their
+    intersection. Ties (more than ``d - 2`` common active constraints)
+    are confirmed algebraically.
+    """
+    common = masks[p] & masks[n]
+    n_common = _popcount(common)
+    if n_common < dim - 2:
+        return False
+    for k, mask in enumerate(masks):
+        if k == p or k == n:
+            continue
+        if common & mask == common:
+            return False
+    if n_common > dim - 2:
+        # Degenerate tie (e.g. duplicated constraint rows): the bit count
+        # alone cannot certify the span; fall back to the rank test.
+        return bareiss_rank(_mask_rows(matrix, common)) == dim - 2
+    return True
+
+
+def extreme_rays(inequalities, adjacency="bitset"):
     """Extreme rays of the pointed cone ``{x : A x >= 0}``.
 
     Parameters
@@ -92,13 +162,20 @@ def extreme_rays(inequalities):
         The rows of ``A`` (each a vector of length ``d``). Must have rank
         ``d`` (i.e. the cone must be pointed), otherwise
         :class:`GeometryError` is raised.
+    adjacency:
+        ``"bitset"`` (default) for the combinatorial bitmask adjacency
+        test with algebraic tie-breaking, or ``"algebraic"`` for the
+        rank-based reference test. Both are exact and produce the same
+        ray set.
 
     Returns
     -------
-    list of ray vectors (coprime-integer Fractions), one per extreme ray,
-    in no particular order. The zero cone yields an empty list.
+    list of ray vectors (coprime-int tuples), one per extreme ray, in no
+    particular order. The zero cone yields an empty list.
     """
-    matrix = as_fraction_matrix(inequalities)
+    if adjacency not in _ADJACENCY_MODES:
+        raise GeometryError("unknown adjacency mode %r" % (adjacency,))
+    matrix = _int_matrix(inequalities)
     if not matrix:
         raise GeometryError("extreme_rays requires at least one constraint")
     dim = len(matrix[0])
@@ -106,10 +183,11 @@ def extreme_rays(inequalities):
         return []
     # Drop all-zero rows (trivial constraints).
     matrix = [row for row in matrix if any(entry != 0 for entry in row)]
-    if rank(matrix) < dim:
+    matrix_rank = bareiss_rank(matrix)
+    if matrix_rank < dim:
         raise GeometryError(
             "cone is not pointed: constraint matrix has rank %d < dimension %d"
-            % (rank(matrix), dim)
+            % (matrix_rank, dim)
         )
 
     if dim == 1:
@@ -119,19 +197,20 @@ def extreme_rays(inequalities):
         has_negative = any(row[0] < 0 for row in matrix)
         if has_positive and has_negative:
             return []
-        return [[matrix[0][0] / abs(matrix[0][0])]] if matrix else []
+        return [[1] if matrix[0][0] > 0 else [-1]] if matrix else []
 
     chosen = _independent_row_subset(matrix, dim)
     rays = _initial_simplicial_rays(matrix, chosen)
     processed = list(chosen)
     processed_set = set(chosen)
-    # active sets relative to processed constraints
-    actives = [_active_set(matrix, processed, ray) for ray in rays]
+    # Active bitmasks relative to processed constraints.
+    masks = [_active_mask(matrix, processed, ray) for ray in rays]
 
     for index, row in enumerate(matrix):
         if index in processed_set:
             continue
-        values = [dot(row, ray) for ray in rays]
+        bit = 1 << index
+        values = [int_dot(row, ray) for ray in rays]
         positive = [i for i, v in enumerate(values) if v > 0]
         zero = [i for i, v in enumerate(values) if v == 0]
         negative = [i for i, v in enumerate(values) if v < 0]
@@ -141,49 +220,53 @@ def extreme_rays(inequalities):
             # activity for adjacency bookkeeping.
             processed.append(index)
             processed_set.add(index)
-            actives = [
-                active | {index} if values[i] == 0 else active
-                for i, active in enumerate(actives)
+            masks = [
+                mask | bit if values[i] == 0 else mask
+                for i, mask in enumerate(masks)
             ]
             continue
 
         new_rays = []
-        new_actives = []
+        new_masks = []
         for i in positive + zero:
             new_rays.append(rays[i])
-            active = actives[i]
+            mask = masks[i]
             if values[i] == 0:
-                active = active | {index}
-            new_actives.append(active)
+                mask |= bit
+            new_masks.append(mask)
 
         for p in positive:
             for n in negative:
-                if not _adjacent(matrix, dim, actives[p], actives[n]):
-                    continue
-                combined = [
-                    values[p] * n_entry - values[n] * p_entry
-                    for p_entry, n_entry in zip(rays[p], rays[n])
-                ]
-                combined = scale_to_integers(combined)
+                if adjacency == "bitset":
+                    if not _adjacent_bitset(matrix, dim, masks, p, n):
+                        continue
+                else:
+                    if not _adjacent_algebraic(matrix, dim, masks[p] & masks[n]):
+                        continue
+                combined = int_row(
+                    [
+                        values[p] * n_entry - values[n] * p_entry
+                        for p_entry, n_entry in zip(rays[p], rays[n])
+                    ]
+                )
                 new_rays.append(combined)
-                new_actives.append(None)  # recomputed below
+                new_masks.append(None)  # recomputed below
 
         processed.append(index)
         processed_set.add(index)
         rays = []
-        actives = []
+        masks = []
         seen = set()
-        for ray, active in zip(new_rays, new_actives):
-            key = tuple(ray)
-            if key in seen:
+        for ray, mask in zip(new_rays, new_masks):
+            if ray in seen:
                 continue
-            seen.add(key)
+            seen.add(ray)
             rays.append(ray)
-            if active is None:
-                active = _active_set(matrix, processed, ray)
-            actives.append(active)
+            if mask is None:
+                mask = _active_mask(matrix, processed, ray)
+            masks.append(mask)
 
-    return rays
+    return [list(ray) for ray in rays]
 
 
 def cone_contains_point_by_rays(rays, point):

@@ -10,8 +10,8 @@ the normal exactly and can render itself in the paper's
 
 from fractions import Fraction
 
-from repro.errors import GeometryError
-from repro.linalg import as_fraction_vector, dot, is_zero_vector, scale_to_integers
+from repro.errors import GeometryError, LinalgError
+from repro.linalg import is_zero_vector, scale_to_integers
 
 EQUALITY = "=="
 INEQUALITY = ">="
@@ -30,10 +30,9 @@ class ConeConstraint:
     def __init__(self, normal, kind):
         if kind not in (EQUALITY, INEQUALITY):
             raise GeometryError("unknown constraint kind %r" % (kind,))
-        normal = as_fraction_vector(normal)
+        normal = scale_to_integers(normal)
         if is_zero_vector(normal):
             raise GeometryError("constraint normal must be nonzero")
-        normal = scale_to_integers(normal)
         if kind == EQUALITY:
             # Sign is meaningless for equalities; canonicalise it.
             for value in normal:
@@ -47,8 +46,23 @@ class ConeConstraint:
 
     # -- evaluation ----------------------------------------------------
     def evaluate(self, point):
-        """Return ``normal . point`` exactly."""
-        return dot(list(self.normal), as_fraction_vector(point))
+        """Return ``normal . point`` exactly.
+
+        Integer points take the pure-int fast path (the facet-screen hot
+        loop); floats and other numerics are converted to Fractions, so
+        the result is exact in every case.
+        """
+        normal = self.normal
+        if len(normal) != len(point):
+            raise LinalgError(
+                "dot: length mismatch (%d vs %d)" % (len(normal), len(point))
+            )
+        total = 0
+        for a, b in zip(normal, point):
+            if not isinstance(b, (int, Fraction)):
+                b = Fraction(b)
+            total += a * b
+        return total
 
     def is_satisfied_by(self, point, slack=Fraction(0)):
         """Whether ``point`` satisfies the constraint.

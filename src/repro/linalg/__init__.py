@@ -15,8 +15,22 @@ library builds on:
 Matrices are plain lists of lists of :class:`~fractions.Fraction`; vectors
 are lists of Fractions. This keeps the data model transparent and avoids
 any dependency on numpy for the exact path.
+
+:mod:`repro.linalg.intkernel` is the integer fast path underneath
+:func:`rank` and :func:`solve`: rows gcd-normalised to int tuples and
+eliminated fraction-free (Bareiss), exploiting Python's
+arbitrary-precision ints. The Fraction implementations remain the
+reference; both produce identical exact results.
 """
 
+from repro.linalg.intkernel import (
+    as_int_rows,
+    bareiss_rank,
+    bareiss_rref,
+    bareiss_solve,
+    int_dot,
+    int_row,
+)
 from repro.linalg.matrix import (
     as_fraction_matrix,
     as_fraction_vector,
@@ -30,6 +44,7 @@ from repro.linalg.matrix import (
     rank,
     row_space_basis,
     rref,
+    rref_fast,
     scale_to_integers,
     solve,
     transpose,
@@ -39,6 +54,12 @@ from repro.linalg.matrix import (
 __all__ = [
     "as_fraction_matrix",
     "as_fraction_vector",
+    "as_int_rows",
+    "bareiss_rank",
+    "bareiss_rref",
+    "bareiss_solve",
+    "int_dot",
+    "int_row",
     "dot",
     "identity",
     "is_zero_vector",
@@ -49,6 +70,7 @@ __all__ = [
     "rank",
     "row_space_basis",
     "rref",
+    "rref_fast",
     "scale_to_integers",
     "solve",
     "transpose",

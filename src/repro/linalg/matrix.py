@@ -3,20 +3,39 @@
 All functions are pure: they never mutate their arguments. Matrices are
 lists of rows; each row is a list of :class:`~fractions.Fraction`. The
 module is deliberately free of numpy so that every result is exact.
+
+The hot entry points :func:`rank` and :func:`solve` are conversion shims
+over the integer fast path in :mod:`repro.linalg.intkernel`: rows are
+normalised to gcd-reduced int tuples (a positive rational row scaling,
+which preserves rank and solution sets) and eliminated fraction-free
+with the Bareiss scheme. Results are bit-for-bit identical to the
+Fraction reference implementations (:func:`rref` and friends), which
+remain here both as the specification and for the equivalence tests.
 """
 
 from fractions import Fraction
-from math import gcd
 
 from repro.errors import LinalgError
+from repro.linalg.intkernel import (
+    as_int_rows,
+    bareiss_rank,
+    bareiss_rref,
+    bareiss_solve,
+    int_row,
+)
 
 
 def as_fraction_vector(values):
     """Convert an iterable of numbers into a list of Fractions.
 
-    Floats are converted exactly (``Fraction(float)`` is lossless), which
-    matters when confidence-region bounds computed in floating point are
-    fed into the exact LP solver.
+    Floats are converted *exactly*: ``Fraction(float)`` reproduces the
+    binary value bit for bit (``Fraction(0.1)`` is
+    ``3602879701896397/36028797018963968``, not ``1/10``). This is
+    deliberate — confidence-region bounds computed in floating point are
+    fed into the exact LP solver, and the verdict must be an exact
+    consequence of the numbers actually measured, not of a prettier
+    decimal re-reading. Callers that *want* decimal semantics should
+    pass ``Fraction(str(x))`` themselves.
     """
     return [value if isinstance(value, Fraction) else Fraction(value) for value in values]
 
@@ -119,10 +138,24 @@ def rref(matrix):
     return reduced, pivot_columns
 
 
+def rref_fast(matrix):
+    """Reduced row echelon form via the fraction-free integer kernel.
+
+    Output is identical to :func:`rref` (RREF is invariant under the row
+    scaling the kernel applies), computed without intermediate Fraction
+    arithmetic.
+    """
+    return bareiss_rref(as_int_rows(matrix))
+
+
 def rank(matrix):
-    """Exact rank of ``matrix``."""
-    _, pivots = rref(matrix)
-    return len(pivots)
+    """Exact rank of ``matrix``.
+
+    Routed through the fraction-free integer kernel
+    (:func:`repro.linalg.intkernel.bareiss_rank`); equivalent to (but
+    much faster than) counting the pivots of :func:`rref`.
+    """
+    return bareiss_rank(as_int_rows(matrix))
 
 
 def row_space_basis(matrix):
@@ -132,7 +165,7 @@ def row_space_basis(matrix):
     canonical form: comparisons between row spaces can be done by
     comparing bases directly.
     """
-    reduced, pivots = rref(matrix)
+    reduced, pivots = rref_fast(matrix)
     return [row for row in reduced[: len(pivots)]]
 
 
@@ -143,7 +176,7 @@ def nullspace(matrix):
     basis is produced by the standard free-variable construction from the
     RREF, so it is canonical for a given input.
     """
-    reduced, pivots = rref(matrix)
+    reduced, pivots = rref_fast(matrix)
     if not reduced:
         return []
     n_cols = len(reduced[0])
@@ -165,8 +198,8 @@ def solve(matrix, rhs):
     Raises :class:`LinalgError` when the system is singular or the shapes
     do not match.
     """
-    matrix = as_fraction_matrix(matrix)
-    rhs = as_fraction_vector(rhs)
+    matrix = [list(row) for row in matrix]
+    rhs = list(rhs)
     n = len(matrix)
     if n == 0:
         return []
@@ -174,33 +207,27 @@ def solve(matrix, rhs):
         raise LinalgError("solve: matrix must be square")
     if len(rhs) != n:
         raise LinalgError("solve: rhs length %d does not match matrix size %d" % (len(rhs), n))
-    augmented = [row + [value] for row, value in zip(matrix, rhs)]
-    reduced, pivots = rref(augmented)
-    if len(pivots) < n or any(col >= n for col in pivots):
-        raise LinalgError("solve: singular or inconsistent system")
-    return [reduced[i][n] for i in range(n)]
+    # Scaling each augmented row to coprime integers preserves the
+    # solution set; the Bareiss kernel then solves fraction-free.
+    augmented = as_int_rows(
+        list(row) + [value] for row, value in zip(matrix, rhs)
+    )
+    return bareiss_solve(augmented)
 
 
 def scale_to_integers(vector):
     """Scale a rational vector by a positive rational so all entries are
-    coprime integers (returned as Fractions with denominator 1).
+    coprime plain ints.
 
-    The zero vector is returned unchanged. The sign of the vector is
+    The zero vector maps to a zero vector. The sign of the vector is
     preserved: only a *positive* multiple is applied, so halfspace
-    normals keep their orientation.
+    normals keep their orientation. Float entries are taken at their
+    exact binary value (via ``Fraction(float)``, which is lossless), so
+    the scaling loses no precision — but note that e.g. ``0.1`` scales
+    by its true denominator ``2**55``, not by 10; convert through
+    ``Fraction(str(x))`` first if decimal semantics are intended.
     """
-    vector = as_fraction_vector(vector)
-    if is_zero_vector(vector):
-        return vector
-    denominator_lcm = 1
-    for value in vector:
-        d = value.denominator
-        denominator_lcm = denominator_lcm * d // gcd(denominator_lcm, d)
-    integers = [int(value * denominator_lcm) for value in vector]
-    common = 0
-    for value in integers:
-        common = gcd(common, abs(value))
-    return [Fraction(value // common) for value in integers]
+    return list(int_row(vector))
 
 
 def normalize_integer_vector(vector):

@@ -14,6 +14,10 @@ its own solver stack:
 * :mod:`repro.lp.scipy_backend` — an optional float backend delegating to
   ``scipy.optimize.linprog`` (HiGHS), used for cross-checking and for
   speed on large instances,
+* :mod:`repro.lp.highs_fast` — persistent HiGHS feasibility models for
+  the hot loops that re-solve one matrix against many right-hand sides
+  (batched point feasibility, generator interior removal); falls back
+  to ``linprog`` when scipy's private HiGHS bindings are unavailable,
 * :func:`repro.lp.solve` — the dispatching entry point.
 """
 

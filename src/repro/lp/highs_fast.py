@@ -1,0 +1,138 @@
+"""Persistent HiGHS feasibility models (the float LP fast path).
+
+``scipy.optimize.linprog`` pays ~1.5 ms of Python wrapper overhead per
+call — an order of magnitude more than HiGHS spends actually solving
+the small feasibility programs CounterPoint issues in its hot loops
+(point feasibility per observation, membership per generator during
+interior removal). Those loops solve the *same* constraint matrix over
+and over with only the right-hand side (and occasionally a column
+bound) changing, which is exactly what the underlying HiGHS incremental
+API is for: build the model once, mutate bounds, re-run from the warm
+basis.
+
+This module talks to the HiGHS bindings that ship *inside* scipy
+(``scipy.optimize._highspy``) — a private interface, so everything here
+degrades gracefully: :func:`make_feasibility_model` returns ``None``
+when the bindings are missing or their surface changed, and callers fall
+back to ``linprog``. Verdict semantics are identical to the ``"scipy"``
+LP backend (floating point; exactness is the caller's concern).
+"""
+
+import numpy as np
+
+try:  # scipy-private HiGHS bindings; absence just disables the fast path
+    import scipy.optimize._highspy._core as _core
+    from scipy.sparse import csc_matrix as _csc_matrix
+
+    _HIGHS_OK = hasattr(_core, "_Highs") and hasattr(_core, "HighsLp")
+except ImportError:  # pragma: no cover - depends on scipy build
+    _core = None
+    _HIGHS_OK = False
+
+OPTIMAL = "optimal"
+INFEASIBLE = "infeasible"
+UNBOUNDED = "unbounded"
+ERROR = "error"
+
+
+def highs_available():
+    """Whether the persistent-model fast path can be used."""
+    return _HIGHS_OK
+
+
+class FeasibilityModel:
+    """A persistent HiGHS model for ``A x = b, x >= 0`` feasibility.
+
+    ``A`` (dense ``N x P`` float array) is loaded once; each
+    :meth:`solve` call rebinds the row bounds to a new ``b`` and re-runs
+    from the previous basis. Columns can be excluded (pinned to zero)
+    and re-included, which the generator interior-removal loop uses to
+    test membership in the cone of "all kept generators but this one"
+    without ever rebuilding the matrix.
+
+    Use :func:`make_feasibility_model`, which returns ``None`` when the
+    HiGHS bindings are unavailable.
+    """
+
+    def __init__(self, matrix):
+        matrix = np.asarray(matrix, dtype=float)
+        n_rows, n_cols = matrix.shape
+        self.n_rows = n_rows
+        self.n_cols = n_cols
+        self._solver = _core._Highs()
+        self._solver.setOptionValue("output_flag", False)
+        self._infinity = self._solver.getInfinity()
+        lp = _core.HighsLp()
+        lp.num_col_ = n_cols
+        lp.num_row_ = n_rows
+        lp.col_cost_ = np.zeros(n_cols)
+        lp.col_lower_ = np.zeros(n_cols)
+        lp.col_upper_ = np.full(n_cols, self._infinity)
+        zeros = np.zeros(n_rows)
+        lp.row_lower_ = zeros
+        lp.row_upper_ = zeros.copy()
+        sparse = _csc_matrix(matrix)
+        lp.a_matrix_.format_ = _core.MatrixFormat.kColwise
+        lp.a_matrix_.start_ = sparse.indptr.astype(np.int64)
+        lp.a_matrix_.index_ = sparse.indices.astype(np.int64)
+        lp.a_matrix_.value_ = sparse.data.astype(float)
+        status = self._solver.passModel(lp)
+        if status == _core.HighsStatus.kError:
+            raise RuntimeError("HiGHS rejected the feasibility model")
+
+    def exclude_column(self, index):
+        """Pin variable ``index`` to zero (remove its generator)."""
+        self._solver.changeColBounds(index, 0.0, 0.0)
+
+    def include_column(self, index):
+        """Restore variable ``index`` to ``[0, inf)``."""
+        self._solver.changeColBounds(index, 0.0, self._infinity)
+
+    def solve(self, rhs):
+        """Feasibility of ``A x = rhs`` under the current column bounds.
+
+        Returns one of :data:`OPTIMAL`, :data:`INFEASIBLE`,
+        :data:`UNBOUNDED`, :data:`ERROR`.
+        """
+        solver = self._solver
+        for row, value in enumerate(rhs):
+            solver.changeRowBounds(row, float(value), float(value))
+        solver.run()
+        status = solver.getModelStatus()
+        if status == _core.HighsModelStatus.kOptimal:
+            return OPTIMAL
+        if status in (
+            _core.HighsModelStatus.kInfeasible,
+            _core.HighsModelStatus.kUnboundedOrInfeasible,
+        ):
+            return INFEASIBLE
+        if status == _core.HighsModelStatus.kUnbounded:
+            return UNBOUNDED
+        return ERROR
+
+    def solution(self):
+        """Primal values after an :data:`OPTIMAL` :meth:`solve`."""
+        return list(self._solver.getSolution().col_value)
+
+
+def make_feasibility_model(matrix):
+    """A :class:`FeasibilityModel` for ``matrix``, or ``None`` when the
+    scipy-private HiGHS bindings are unavailable (callers fall back to
+    ``scipy.optimize.linprog``)."""
+    if not _HIGHS_OK:
+        return None
+    try:
+        return FeasibilityModel(matrix)
+    except Exception:  # pragma: no cover - binding-surface drift
+        return None
+
+
+__all__ = [
+    "ERROR",
+    "FeasibilityModel",
+    "INFEASIBLE",
+    "OPTIMAL",
+    "UNBOUNDED",
+    "highs_available",
+    "make_feasibility_model",
+]

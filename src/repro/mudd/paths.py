@@ -25,7 +25,13 @@ class MuPath:
         self.counter_counts = dict(counter_counts)
 
     def signature(self, counters):
-        """Counter signature as a tuple aligned with ``counters``."""
+        """Counter signature as a tuple aligned with ``counters``.
+
+        Per-path convenience only: bulk callers use
+        :func:`signature_matrix`, which maps counters to indices once
+        for the whole traversal and never materialises :class:`MuPath`
+        objects.
+        """
         return tuple(self.counter_counts.get(name, 0) for name in counters)
 
     def events(self, mudd):
@@ -158,8 +164,17 @@ def iter_signatures(mudd, counters, max_paths=2000000):
             stack.append((edge.target, branch_assignments, branch_signature))
 
 
-def signature_matrix(mudd, counters=None, max_paths=2000000, deduplicate=True):
+def signature_matrix(
+    mudd, counters=None, max_paths=2000000, deduplicate=True, with_multiplicity=False
+):
     """Counter signatures of every µpath.
+
+    Signatures are produced in one traversal with a counter-index map
+    (:func:`iter_signatures`) — never via per-path
+    :meth:`MuPath.signature` dict lookups — and deduplicated *before*
+    cone construction, so µDDs whose many µpaths collapse onto few
+    distinct signatures (the common case for the full Haswell models)
+    do not inflate the double description input.
 
     Parameters
     ----------
@@ -173,20 +188,27 @@ def signature_matrix(mudd, counters=None, max_paths=2000000, deduplicate=True):
     deduplicate:
         Merge µpaths with identical signatures (they generate the same
         ray of the model cone).
+    with_multiplicity:
+        Additionally return the number of µpaths that collapsed onto
+        each signature (all ones when ``deduplicate`` is false).
 
     Returns
     -------
     ``(counters, signatures)`` where ``signatures`` is a list of integer
-    tuples, one per (deduplicated) µpath.
+    tuples, one per (deduplicated) µpath — plus a parallel
+    ``multiplicities`` list when ``with_multiplicity`` is true.
     """
     if counters is None:
         counters = mudd.counters
-    signatures = []
-    seen = set()
-    for signature in iter_signatures(mudd, counters, max_paths=max_paths):
-        if deduplicate:
-            if signature in seen:
-                continue
-            seen.add(signature)
-        signatures.append(signature)
+    if deduplicate:
+        counts = {}
+        for signature in iter_signatures(mudd, counters, max_paths=max_paths):
+            counts[signature] = counts.get(signature, 0) + 1
+        signatures = list(counts)
+        if with_multiplicity:
+            return list(counters), signatures, [counts[s] for s in signatures]
+        return list(counters), signatures
+    signatures = list(iter_signatures(mudd, counters, max_paths=max_paths))
+    if with_multiplicity:
+        return list(counters), signatures, [1] * len(signatures)
     return list(counters), signatures

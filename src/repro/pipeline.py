@@ -16,8 +16,9 @@ which mechanism hypotheses the data can distinguish.
 
 from repro.cone import (
     ModelCone,
+    ModelConeCache,
     identify_violations,
-    test_point_feasibility,
+    test_points_feasibility,
     test_region_feasibility,
 )
 from repro.dsl import compile_dsl
@@ -86,24 +87,45 @@ class CounterPoint:
         ``"scipy"`` (HiGHS; fast sweeps).
     confidence:
         Confidence level for regions built from sample matrices.
+    cache:
+        Reuse model cones across calls, keyed by µDD content
+        (:mod:`repro.cone.cache`): signature enumeration and constraint
+        deduction then run once per model per pipeline. ``False`` opts
+        out (every call rebuilds from scratch); an existing
+        :class:`~repro.cone.cache.ModelConeCache` may also be passed to
+        share one cache between pipelines.
     """
 
-    def __init__(self, counters=None, backend="exact", confidence=0.99):
+    def __init__(self, counters=None, backend="exact", confidence=0.99, cache=True):
         self.counters = counters
         self.backend = backend
         self.confidence = confidence
+        if cache is True:
+            self.cone_cache = ModelConeCache()
+        elif cache is False or cache is None:
+            self.cone_cache = None
+        else:
+            self.cone_cache = cache
 
     # -- model ingestion ---------------------------------------------------
-    def model_cone(self, model):
-        """Accepts DSL source, a µDD, or a ready ModelCone."""
+    def model_cone(self, model, counters=None):
+        """Accepts DSL source, a µDD, or a ready ModelCone.
+
+        ``counters`` overrides the pipeline's counter ordering for this
+        call (used by :meth:`cross_refute`, where the ordering comes
+        from the simulated dataset). Cones built from µDDs or DSL text
+        are served from the content-addressed cache when enabled.
+        """
+        if counters is None:
+            counters = self.counters
         if isinstance(model, ModelCone):
             return model
-        if isinstance(model, MuDD):
-            return ModelCone.from_mudd(model, counters=self.counters)
         if isinstance(model, str):
-            return ModelCone.from_mudd(
-                compile_dsl(model), counters=self.counters
-            )
+            model = compile_dsl(model)
+        if isinstance(model, MuDD):
+            if self.cone_cache is not None:
+                return self.cone_cache.get(model, counters=counters)
+            return ModelCone.from_mudd(model, counters=counters)
         raise AnalysisError("cannot interpret %r as a model" % (type(model).__name__,))
 
     # -- single-observation analysis ---------------------------------------
@@ -118,7 +140,9 @@ class CounterPoint:
         if hasattr(observation, "box_constraints"):
             result = test_region_feasibility(cone, observation, backend=self.backend)
         else:
-            result = test_point_feasibility(cone, observation, backend=self.backend)
+            result = test_points_feasibility(
+                cone, [observation], backend=self.backend
+            )[0]
         violations = []
         if not result.feasible:
             violations = identify_violations(cone, observation, backend=self.backend)
@@ -133,20 +157,28 @@ class CounterPoint:
         exact totals.
         """
         cone = self.model_cone(model)
+        observations = list(observations)
         infeasible = []
-        for observation in observations:
-            if use_regions:
+        if use_regions:
+            for observation in observations:
                 region = observation.region(
                     confidence=self.confidence, correlated=correlated
                 )
                 result = test_region_feasibility(cone, region, backend=self.backend)
-            else:
-                result = test_point_feasibility(
-                    cone, observation.point(), backend=self.backend
-                )
-            if not result.feasible:
-                infeasible.append(observation.name)
-        return ModelSweep(cone.name, infeasible, len(list(observations)))
+                if not result.feasible:
+                    infeasible.append(observation.name)
+        else:
+            results = test_points_feasibility(
+                cone,
+                [observation.point() for observation in observations],
+                backend=self.backend,
+            )
+            infeasible = [
+                observation.name
+                for observation, result in zip(observations, results)
+                if not result.feasible
+            ]
+        return ModelSweep(cone.name, infeasible, len(observations))
 
     def compare(self, models, observations, **sweep_options):
         """Sweep several models; returns ``{model_name: ModelSweep}``."""
@@ -204,7 +236,7 @@ class CounterPoint:
             counters = observations[0].samples.counters
             sweeps = {}
             for candidate in mudds:
-                cone = ModelCone.from_mudd(candidate, counters=counters)
+                cone = self.model_cone(candidate, counters=counters)
                 sweeps[candidate.name] = self.sweep(cone, observations)
             matrix[observed.name] = sweeps
         return matrix

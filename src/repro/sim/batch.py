@@ -158,6 +158,24 @@ class BatchResult:
         means = self.totals.mean(axis=0)
         return {name: float(value) for name, value in zip(self.counters, means)}
 
+    def feasibility(self, model_cone, backend="exact", screen="auto"):
+        """Test every trace's totals against ``model_cone`` in one batch.
+
+        Routed through
+        :func:`repro.cone.feasibility.test_points_feasibility`: when the
+        cone's facets are already deduced, traces are screened with
+        exact integer dot products and only the survivors run the flow
+        LP — the fast path for scenario sweeps that pit one model's
+        synthetic traces against another's cone. Returns a list of
+        :class:`~repro.cone.feasibility.FeasibilityResult`, one per
+        trace.
+        """
+        from repro.cone import test_points_feasibility
+
+        return test_points_feasibility(
+            model_cone, self.observations(), backend=backend, screen=screen
+        )
+
     def __repr__(self):
         return "BatchResult(%r, %d traces x %d counters, %d µops each)" % (
             self.model_name,

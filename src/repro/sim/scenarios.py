@@ -146,8 +146,14 @@ def closed_loop(observed_model, candidate_models, n_uops=20000, weights=None, se
     construction — counter conservation), so including it among the
     candidates is the standard sanity row; candidates whose mechanisms
     disagree get refuted, closing the simulate→refute loop.
+
+    Candidate cones come from the process-wide content-addressed cache
+    (:func:`repro.cone.cache.get_model_cone`), so repeated closed-loop
+    runs over the same model library skip µpath enumeration — and skip
+    constraint deduction entirely once a candidate has been refuted
+    before.
     """
-    from repro.cone import ModelCone
+    from repro.cone.cache import get_model_cone
     from repro.pipeline import CounterPoint
 
     observation = simulate_observation(
@@ -162,7 +168,7 @@ def closed_loop(observed_model, candidate_models, n_uops=20000, weights=None, se
     )
     reports = {}
     for candidate in candidate_models:
-        cone = ModelCone.from_mudd(as_mudd(candidate), counters=counters)
+        cone = get_model_cone(as_mudd(candidate), counters=counters)
         report = counterpoint.analyze(cone, target)
         reports[report.model_name] = report
     return reports

@@ -1,0 +1,241 @@
+"""Tests for the content-addressed model-cone cache and its wiring.
+
+Covers the canonical µDD fingerprint (id-allocation invariance), the
+LRU behaviour of :class:`ModelConeCache`, the :class:`CounterPoint`
+cache knob, signature multiplicity bookkeeping, and the batched
+feasibility entry point on simulated traces.
+"""
+
+import pytest
+
+from repro.cone import ModelCone, ModelConeCache, get_model_cone, mudd_fingerprint
+from repro.cone.cache import default_cache
+from repro.errors import AnalysisError
+from repro.mudd import (
+    Do,
+    Incr,
+    MuDD,
+    Seq,
+    Switch,
+    compile_program,
+    signature_matrix,
+)
+from repro.pipeline import CounterPoint
+
+
+def pde_program():
+    return Seq(
+        [
+            Do("issue"),
+            Incr("causes_walk"),
+            Switch("Pde$Status", {"hit": Seq([]), "miss": Incr("pde_miss")}),
+        ]
+    )
+
+
+def build_pde(name="pde"):
+    return compile_program(pde_program(), name=name)
+
+
+def build_pde_shuffled_ids(name="pde"):
+    """Same structure as :func:`build_pde`, different node-id allocation
+    order — must produce the same fingerprint."""
+    mudd = MuDD(name=name)
+    end = mudd.add_node("end", node_id="z_end")
+    miss = mudd.add_node("counter", "pde_miss", node_id="a_miss")
+    walk = mudd.add_node("counter", "causes_walk", node_id="m_walk")
+    decision = mudd.add_node("decision", "Pde$Status", node_id="k_dec")
+    issue = mudd.add_node("event", "issue", node_id="b_issue")
+    start = mudd.add_node("start", node_id="q_start")
+    mudd.add_edge(start, issue)
+    mudd.add_edge(issue, walk)
+    mudd.add_edge(walk, decision)
+    mudd.add_edge(decision, end, value="hit")
+    mudd.add_edge(decision, miss, value="miss")
+    mudd.add_edge(miss, end)
+    mudd.validate()
+    return mudd
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        assert mudd_fingerprint(build_pde()) == mudd_fingerprint(build_pde())
+
+    def test_id_allocation_invariant(self):
+        # Same structure, different node-id allocation: identical under
+        # an explicit counter ordering.
+        counters = ["causes_walk", "pde_miss"]
+        assert mudd_fingerprint(build_pde(), counters=counters) == mudd_fingerprint(
+            build_pde_shuffled_ids(), counters=counters
+        )
+
+    def test_implicit_counter_order_folded_into_key(self):
+        # With counters=None the µDD's own (id-order-dependent) counter
+        # ordering becomes part of the key: structurally identical µDDs
+        # whose implicit orderings disagree must not share an entry.
+        a, b = build_pde(), build_pde_shuffled_ids()
+        assert a.counters != b.counters
+        assert mudd_fingerprint(a) != mudd_fingerprint(b)
+
+    def test_structure_sensitive(self):
+        other = compile_program(
+            Seq([Do("issue"), Incr("causes_walk")]), name="pde"
+        )
+        assert mudd_fingerprint(build_pde()) != mudd_fingerprint(other)
+
+    def test_counters_ordering_in_key(self):
+        mudd = build_pde()
+        assert mudd_fingerprint(mudd, counters=["a", "b"]) != mudd_fingerprint(
+            mudd, counters=["b", "a"]
+        )
+
+    def test_rejects_non_mudd(self):
+        with pytest.raises(AnalysisError):
+            mudd_fingerprint("not a mudd")
+
+
+class TestModelConeCache:
+    def test_hit_returns_same_object(self):
+        cache = ModelConeCache()
+        cone_a = cache.get(build_pde())
+        cone_b = cache.get(build_pde())  # fresh object, same content
+        assert cone_a is cone_b
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_hit_across_id_allocations_with_explicit_counters(self):
+        cache = ModelConeCache()
+        counters = ["causes_walk", "pde_miss"]
+        cone_a = cache.get(build_pde(), counters=counters)
+        cone_b = cache.get(build_pde_shuffled_ids(), counters=counters)
+        assert cone_a is cone_b
+
+    def test_no_collision_on_implicit_counter_order(self):
+        cache = ModelConeCache()
+        cone_a = cache.get(build_pde())
+        cone_b = cache.get(build_pde_shuffled_ids())
+        assert cone_a is not cone_b
+        assert cone_a.counters != cone_b.counters
+
+    def test_counters_partition_entries(self):
+        cache = ModelConeCache()
+        mudd = build_pde()
+        cone_a = cache.get(mudd, counters=["causes_walk", "pde_miss"])
+        cone_b = cache.get(mudd, counters=["pde_miss", "causes_walk"])
+        assert cone_a is not cone_b
+        assert cone_a.counters != cone_b.counters
+
+    def test_lru_eviction(self):
+        cache = ModelConeCache(maxsize=1)
+        cache.get(build_pde(name="a"))
+        cache.get(build_pde(name="b"))  # distinct name -> distinct key
+        assert len(cache) == 1
+        cache.get(build_pde(name="a"))
+        assert cache.misses == 3  # "a" was evicted and rebuilt
+
+    def test_clear(self):
+        cache = ModelConeCache()
+        cache.get(build_pde())
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 0 and cache.misses == 0
+
+    def test_default_cache_shared(self):
+        default_cache().clear()
+        cone_a = get_model_cone(build_pde())
+        cone_b = get_model_cone(build_pde())
+        assert cone_a is cone_b
+        default_cache().clear()
+
+    def test_invalid_maxsize(self):
+        with pytest.raises(AnalysisError):
+            ModelConeCache(maxsize=0)
+
+
+class TestCounterPointCaching:
+    def test_analyze_reuses_cone_and_constraints(self):
+        cp = CounterPoint()
+        cone_a = cp.model_cone(build_pde())
+        cone_b = cp.model_cone(build_pde())
+        assert cone_a is cone_b
+        # Constraint deduction runs once: an infeasible analyze deduces,
+        # a second analyze reuses the deduced facets for screening.
+        report = cp.analyze(build_pde(), {"causes_walk": 1, "pde_miss": 2})
+        assert not report.feasible and report.violations
+        assert cp.model_cone(build_pde()).has_deduced_constraints()
+
+    def test_cache_opt_out(self):
+        cp = CounterPoint(cache=False)
+        assert cp.cone_cache is None
+        assert cp.model_cone(build_pde()) is not cp.model_cone(build_pde())
+
+    def test_shared_cache_instance(self):
+        shared = ModelConeCache()
+        cp_a = CounterPoint(cache=shared)
+        cp_b = CounterPoint(cache=shared)
+        assert cp_a.model_cone(build_pde()) is cp_b.model_cone(build_pde())
+
+    def test_model_cone_counters_override(self):
+        cp = CounterPoint()
+        cone = cp.model_cone(build_pde(), counters=["pde_miss", "causes_walk"])
+        assert cone.counters == ["pde_miss", "causes_walk"]
+
+
+class TestSignatureMultiplicity:
+    def test_multiplicities_count_collapsed_paths(self):
+        # Two independent decisions that do not touch counters: 4 µpaths
+        # collapse onto 2 signatures with multiplicity 2 each.
+        program = Seq(
+            [
+                Switch("P", {"a": Seq([]), "b": Seq([])}),
+                Switch("Q", {"x": Seq([]), "y": Incr("c")}),
+            ]
+        )
+        mudd = compile_program(program)
+        counters, signatures, multiplicities = signature_matrix(
+            mudd, with_multiplicity=True
+        )
+        assert sorted(zip(signatures, multiplicities)) == [((0,), 2), ((1,), 2)]
+
+    def test_no_dedup_gives_unit_multiplicity(self):
+        mudd = build_pde()
+        counters, signatures, multiplicities = signature_matrix(
+            mudd, deduplicate=False, with_multiplicity=True
+        )
+        assert multiplicities == [1] * len(signatures)
+
+    def test_model_cone_records_multiplicities(self):
+        cone = ModelCone.from_mudd(build_pde())
+        assert cone.multiplicities is not None
+        assert len(cone.multiplicities) == len(cone.signatures)
+        assert all(count >= 1 for count in cone.multiplicities)
+
+    def test_multiplicity_length_validated(self):
+        with pytest.raises(AnalysisError):
+            ModelCone(["a"], [(1,)], multiplicities=[1, 2])
+
+
+class TestBatchFeasibilityWiring:
+    def test_batch_results_feasible_for_own_model(self):
+        from repro.sim import batch_simulate
+
+        mudd = build_pde()
+        result = batch_simulate(mudd, 500, n_traces=4, seed=7)
+        cone = ModelCone.from_mudd(mudd)
+        verdicts = result.feasibility(cone)
+        assert len(verdicts) == 4
+        assert all(v.feasible for v in verdicts)
+
+    def test_batch_refuted_against_disagreeing_model(self):
+        from repro.sim import batch_simulate
+
+        generous = build_pde()
+        stingy = compile_program(
+            Seq([Do("issue"), Incr("causes_walk")]), name="no_miss"
+        )
+        result = batch_simulate(generous, 500, n_traces=3, seed=11)
+        cone = ModelCone.from_mudd(
+            stingy, counters=["causes_walk", "pde_miss"]
+        )
+        cone.constraints()  # deduce once -> screen refutes with certificates
+        verdicts = result.feasibility(cone)
+        assert all(not v.feasible for v in verdicts)
+        assert any(v.certificate is not None for v in verdicts)

@@ -38,9 +38,10 @@ merging_load_side --weight Merged=Yes:3 --analyze no_merging_load_side``
 """
 
 from repro.pipeline import AnalysisReport, CounterPoint, ModelSweep
-from repro.cone import ModelCone
+from repro.cone import DiskConeCache, ModelCone
 from repro.dsl import compile_dsl
 from repro.mudd import MuDD
+from repro.parallel import ParallelRunner
 from repro.sim import (
     MMUOracle,
     MuDDExecutor,
@@ -51,17 +52,19 @@ from repro.sim import (
 )
 from repro.stats import ConfidenceRegion, PointRegion
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AnalysisReport",
     "ConfidenceRegion",
     "CounterPoint",
+    "DiskConeCache",
     "MMUOracle",
     "ModelCone",
     "ModelSweep",
     "MuDD",
     "MuDDExecutor",
+    "ParallelRunner",
     "PointRegion",
     "RandomOracle",
     "batch_simulate",

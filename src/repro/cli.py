@@ -24,6 +24,12 @@ Commands
 
         python -m repro simulate --bundled merging_load_side \\
             --weight Merged=Yes:3 --analyze no_merging_load_side
+
+Shared performance flags (``analyze``, ``simulate``, ``case-study``):
+``--cache-dir DIR`` serves model cones from the persistent on-disk
+cache (:mod:`repro.cone.diskcache`) — deduction runs once per model
+ever, shared across runs and processes; ``--workers N`` shards dataset
+sweeps across a process pool (:mod:`repro.parallel`).
 """
 
 import argparse
@@ -43,6 +49,16 @@ def _load_model(path):
     return compile_dsl(source, name=path)
 
 
+def _model_cone(mudd, arguments, counters=None):
+    """Build (or load) a model cone honouring ``--cache-dir``."""
+    cache_dir = getattr(arguments, "cache_dir", None)
+    if cache_dir:
+        from repro.cone.cache import get_model_cone
+
+        return get_model_cone(mudd, counters=counters, cache_dir=cache_dir)
+    return ModelCone.from_mudd(mudd, counters=counters)
+
+
 def _parse_observation(text):
     observation = {}
     for item in text.split(","):
@@ -60,7 +76,7 @@ def _parse_observation(text):
 
 def cmd_constraints(arguments):
     mudd = _load_model(arguments.model)
-    cone = ModelCone.from_mudd(mudd)
+    cone = _model_cone(mudd, arguments)
     constraints = cone.constraints()
     print("%d µpath signatures, %d constraints:" % (cone.n_paths, len(constraints)))
     for constraint in constraints:
@@ -69,8 +85,19 @@ def cmd_constraints(arguments):
 
 
 def cmd_analyze(arguments):
+    from repro.pipeline import CounterPoint
+
     mudd = _load_model(arguments.model)
-    cone = ModelCone.from_mudd(mudd)
+    # Cone construction goes through the facade so --workers/--cache-dir
+    # reach the pipeline (the disk cache serves the cone; the pool is
+    # available to any sharded work the pipeline grows).
+    counterpoint = CounterPoint(
+        backend=arguments.backend,
+        confidence=arguments.confidence,
+        workers=arguments.workers,
+        cache_dir=arguments.cache_dir or None,
+    )
+    cone = counterpoint.model_cone(mudd)
     backend = arguments.backend
 
     if arguments.perf_csv:
@@ -129,7 +156,11 @@ def cmd_case_study(arguments):
     from repro.pipeline import CounterPoint
 
     observations = standard_dataset(scale=arguments.scale)
-    counterpoint = CounterPoint(backend="scipy")
+    counterpoint = CounterPoint(
+        backend="scipy",
+        workers=arguments.workers,
+        cache_dir=arguments.cache_dir or None,
+    )
     print("%d observations" % len(observations))
     print("%-5s %-46s %s" % ("model", "features", "#infeasible"))
     for name in sorted(M_SERIES, key=lambda n: int(n[1:])):
@@ -220,8 +251,10 @@ def cmd_simulate(arguments):
     candidate = _simulate_model(arguments, "analyze")
     if counters is None:
         counters = sorted(totals)
-    cone = ModelCone.from_mudd(candidate, counters=counters)
-    report = CounterPoint(backend=arguments.backend).analyze(cone, observation)
+    cone = _model_cone(candidate, arguments, counters=counters)
+    report = CounterPoint(
+        backend=arguments.backend, workers=arguments.workers
+    ).analyze(cone, observation)
     print(report.summary())
     return 0 if report.feasible else 1
 
@@ -239,40 +272,130 @@ def cmd_errata_check(arguments):
     return 1
 
 
+def _add_runtime_flags(subparser, workers_help):
+    """The shared performance knobs (``--workers``, ``--cache-dir``)."""
+    subparser.add_argument(
+        "--workers", type=int, default=1, metavar="N", help=workers_help
+    )
+    subparser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="persistent on-disk model-cone cache: deduced cones are "
+             "stored here and reused across runs and processes "
+             "(computed once per model, ever)")
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
-        prog="repro", description="CounterPoint: test µDD models against HEC data"
+        prog="repro",
+        description="CounterPoint: test µDD microarchitectural models "
+                    "against hardware event counter (HEC) data — deduce "
+                    "the linear constraints a model implies, refute models "
+                    "whose constraints the data violates, and simulate "
+                    "models to generate synthetic observations.",
+        epilog="run 'python -m repro <command> --help' for per-command "
+               "examples; see README.md for the 60-second tour",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
-    constraints = commands.add_parser("constraints", help="deduce model constraints")
+    constraints = commands.add_parser(
+        "constraints",
+        help="deduce model constraints",
+        description="Deduce and print the linear HEC constraints a µDD "
+                    "model implies (the paper's Section 6 pipeline: "
+                    "equalities from Gaussian elimination, facet "
+                    "inequalities from the double description method).",
+        epilog="example:\n"
+               "  python -m repro constraints model.dsl\n"
+               "  python -m repro constraints model.dsl --cache-dir .repro-cache",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
     constraints.add_argument("model", help="DSL model file")
+    constraints.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="persistent on-disk model-cone cache (reused across runs)")
     constraints.set_defaults(handler=cmd_constraints)
 
-    analyze = commands.add_parser("analyze", help="test an observation against a model")
+    analyze = commands.add_parser(
+        "analyze",
+        help="test an observation against a model",
+        description="Test one observation — exact counter totals or a "
+                    "perf interval CSV summarised as a confidence region — "
+                    "against a µDD model. Exit status: 0 feasible, "
+                    "1 infeasible (the observation refutes the model), "
+                    "2 usage error.",
+        epilog="examples:\n"
+               "  python -m repro analyze model.dsl "
+               "--observation load.causes_walk=5,load.pde\\$_miss=12\n"
+               "  python -m repro analyze model.dsl --perf-csv run.csv "
+               "--confidence 0.99 --violations\n"
+               "  python -m repro analyze model.dsl --perf-csv run.csv "
+               "--cache-dir .repro-cache",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
     analyze.add_argument("model", help="DSL model file")
     source = analyze.add_mutually_exclusive_group(required=True)
     source.add_argument("--observation", help="comma-separated name=value totals")
     source.add_argument("--perf-csv", help="perf stat -I -x, interval CSV file")
-    analyze.add_argument("--backend", default="exact", choices=("exact", "scipy"))
-    analyze.add_argument("--confidence", type=float, default=0.99)
+    analyze.add_argument("--backend", default="exact", choices=("exact", "scipy"),
+                         help="LP backend: exact rational simplex (certified "
+                              "verdicts) or scipy/HiGHS (fast)")
+    analyze.add_argument("--confidence", type=float, default=0.99,
+                         help="confidence level for --perf-csv regions")
     analyze.add_argument("--independent", action="store_true",
                          help="use the independent-counter baseline region")
     analyze.add_argument("--violations", action="store_true",
                          help="run full constraint deduction and list all violations")
+    _add_runtime_flags(
+        analyze,
+        "process-pool size for sharded sweeps (a single-observation "
+        "analysis itself runs in-process)")
     analyze.set_defaults(handler=cmd_analyze)
 
-    render = commands.add_parser("render", help="export a µDD as Graphviz dot")
+    render = commands.add_parser(
+        "render",
+        help="export a µDD as Graphviz dot",
+        description="Compile a DSL model and export its µDD as Graphviz "
+                    "dot (render with: dot -Tsvg out.dot -o out.svg).",
+        epilog="example:\n  python -m repro render model.dsl -o model.dot",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
     render.add_argument("model", help="DSL model file")
     render.add_argument("-o", "--output", help="output .dot path (stdout if omitted)")
     render.set_defaults(handler=cmd_render)
 
-    case_study = commands.add_parser("case-study", help="run the Table 3 sweep")
-    case_study.add_argument("--scale", type=float, default=1.0)
+    case_study = commands.add_parser(
+        "case-study",
+        help="run the Table 3 sweep",
+        description="Run the paper's Table 3 case study: sweep the "
+                    "m-series Haswell MMU models over the simulated "
+                    "standard dataset and report which observations each "
+                    "model fails to explain (* marks feasible models).",
+        epilog="examples:\n"
+               "  python -m repro case-study\n"
+               "  python -m repro case-study --workers 4 --cache-dir .repro-cache",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    case_study.add_argument("--scale", type=float, default=1.0,
+                            help="workload scale factor for the dataset")
+    _add_runtime_flags(
+        case_study,
+        "shard each model's dataset sweep across N worker processes")
     case_study.set_defaults(handler=cmd_case_study)
 
     simulate = commands.add_parser(
-        "simulate", help="execute a µDD and emit synthetic counter totals"
+        "simulate",
+        help="execute a µDD and emit synthetic counter totals",
+        description="Execute a µDD with the repro.sim engine and print "
+                    "synthetic counter totals; optionally close the loop "
+                    "by testing the simulated observation against a second "
+                    "model (exit 1 when the candidate is refuted).",
+        epilog="examples:\n"
+               "  python -m repro simulate model.dsl --n-uops 50000\n"
+               "  python -m repro simulate --bundled merging_load_side \\\n"
+               "      --weight Merged=Yes:3 --analyze no_merging_load_side\n"
+               "  python -m repro simulate --bundled pde_initial --noisy "
+               "--analyze pde_refined --cache-dir .repro-cache",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     simulate.add_argument("model", help="DSL model file (or bundled name with --bundled)")
     simulate.add_argument("--bundled", action="store_true",
@@ -291,10 +414,25 @@ def build_parser():
     simulate.add_argument("--analyze", metavar="MODEL",
                           help="close the loop: test the simulated observation "
                                "against another model (exit 1 when refuted)")
-    simulate.add_argument("--backend", default="exact", choices=("exact", "scipy"))
+    simulate.add_argument("--backend", default="exact", choices=("exact", "scipy"),
+                          help="LP backend for --analyze verdicts")
+    _add_runtime_flags(
+        simulate,
+        "process-pool size for sharded sweeps (single-run simulation "
+        "itself is vectorised in-process)")
     simulate.set_defaults(handler=cmd_simulate)
 
-    errata = commands.add_parser("errata-check", help="check a measurement plan")
+    errata = commands.add_parser(
+        "errata-check",
+        help="check a measurement plan",
+        description="Pre-flight a measurement plan against the known "
+                    "counter errata (e.g. HSD29/HSM30): warn when a "
+                    "planned counter is unreliable in this configuration.",
+        epilog="example:\n"
+               "  python -m repro errata-check "
+               "--counters load.causes_walk,load.stlb_hit --smt",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
     errata.add_argument("--counters", required=True,
                         help="comma-separated counter names (paper-style)")
     errata.add_argument("--smt", action="store_true", help="SMT enabled")

@@ -26,7 +26,9 @@ from repro.cone.cache import (
     default_cache,
     get_model_cone,
     mudd_fingerprint,
+    shared_cache,
 )
+from repro.cone.diskcache import CACHE_FORMAT_VERSION, DiskConeCache
 from repro.cone.constraints import ConstraintSet, ModelConstraint, deduce_constraints
 from repro.cone.feasibility import (
     FeasibilityResult,
@@ -38,7 +40,9 @@ from repro.cone.violations import Violation, identify_violations
 from repro.cone.certificates import separating_constraint
 
 __all__ = [
+    "CACHE_FORMAT_VERSION",
     "ConstraintSet",
+    "DiskConeCache",
     "FeasibilityResult",
     "ModelCone",
     "ModelConeCache",
@@ -50,6 +54,7 @@ __all__ = [
     "identify_violations",
     "mudd_fingerprint",
     "separating_constraint",
+    "shared_cache",
     "test_point_feasibility",
     "test_points_feasibility",
     "test_region_feasibility",

@@ -81,59 +81,147 @@ def mudd_fingerprint(mudd, counters=None):
 
 
 class ModelConeCache:
-    """A small LRU of :class:`ModelCone` objects keyed by µDD content.
+    """An LRU of :class:`ModelCone` objects keyed by µDD content, with
+    an optional persistent on-disk tier behind it.
 
     Thread-unsafe by design (the pipeline is single-threaded); sharing
     across :class:`CounterPoint` instances is safe because cached cones
-    are treated as immutable by all callers.
+    are treated as immutable by all callers. The *disk* tier
+    (:class:`repro.cone.diskcache.DiskConeCache`) is safe to share
+    between concurrent processes — pool workers warming one directory
+    each publish entries atomically.
+
+    Parameters
+    ----------
+    maxsize:
+        In-memory LRU entry cap.
+    disk:
+        Persistent tier: a :class:`~repro.cone.diskcache.DiskConeCache`,
+        or a directory path to build one over, or ``None`` (memory
+        only). Lookup order is memory → disk → build; builds and
+        memory-tier misses that hit disk both populate the memory tier,
+        and builds are published to disk.
     """
 
-    def __init__(self, maxsize=128):
+    def __init__(self, maxsize=128, disk=None):
         if maxsize <= 0:
             raise AnalysisError("cache maxsize must be positive")
         self.maxsize = maxsize
         self._entries = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.builds = 0
+        if disk is not None and not hasattr(disk, "get"):
+            from repro.cone.diskcache import DiskConeCache
+
+            disk = DiskConeCache(disk)
+        self.disk = disk
+        # Keys whose disk copy was written before constraint deduction
+        # ran; rewritten on a later hit so the deduction persists too.
+        self._undeduced = set()
 
     def __len__(self):
         return len(self._entries)
 
+    @property
+    def disk_hits(self):
+        """Hits served by the persistent tier (0 without one)."""
+        return self.disk.hits if self.disk is not None else 0
+
+    def _remember(self, key, cone):
+        self._entries[key] = cone
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def _write_back(self, key, cone):
+        """Persist ``cone``; track whether its deduction is still due."""
+        if self.disk is None:
+            return
+        self.disk.put(key, cone)
+        if cone.has_deduced_constraints():
+            self._undeduced.discard(key)
+        else:
+            self._undeduced.add(key)
+
     def get(self, mudd, counters=None, max_paths=2000000):
-        """The model cone of ``mudd``, built at most once per content."""
+        """The model cone of ``mudd``, built at most once per content.
+
+        With a disk tier the "at most once" extends across processes
+        and runs: a build is published to disk, and later processes
+        (or concurrent pool workers) load it instead of rebuilding.
+        """
         key = (mudd_fingerprint(mudd, counters=counters), max_paths)
         entry = self._entries.get(key)
         if entry is not None:
             self.hits += 1
             self._entries.move_to_end(key)
+            # Constraint deduction ran after the disk copy was written:
+            # rewrite so no future process ever deduces this model again.
+            if key in self._undeduced and entry.has_deduced_constraints():
+                self._write_back(key, entry)
             return entry
         self.misses += 1
-        cone = ModelCone.from_mudd(mudd, counters=counters, max_paths=max_paths)
-        self._entries[key] = cone
-        if len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
+        cone = None
+        if self.disk is not None:
+            cone = self.disk.get(key)
+            if cone is not None and not cone.has_deduced_constraints():
+                # The disk copy predates deduction; if this process (or
+                # a later one through us) deduces, persist that too.
+                self._undeduced.add(key)
+        if cone is None:
+            cone = ModelCone.from_mudd(mudd, counters=counters, max_paths=max_paths)
+            self.builds += 1
+            self._write_back(key, cone)
+        self._remember(key, cone)
         return cone
 
     def clear(self):
+        """Drop the memory tier and reset counters (disk entries stay)."""
         self._entries.clear()
+        self._undeduced.clear()
         self.hits = 0
         self.misses = 0
+        self.builds = 0
 
     def __repr__(self):
-        return "ModelConeCache(%d/%d entries, %d hits, %d misses)" % (
+        return "ModelConeCache(%d/%d entries, %d hits, %d misses, %d builds%s)" % (
             len(self._entries),
             self.maxsize,
             self.hits,
             self.misses,
+            self.builds,
+            ", disk=%r" % (self.disk.cache_dir,) if self.disk is not None else "",
         )
 
 
 _default_cache = ModelConeCache()
+_dir_caches = {}
 
 
-def get_model_cone(mudd, counters=None, max_paths=2000000):
-    """Fetch ``mudd``'s model cone from the process-wide default cache."""
+def get_model_cone(mudd, counters=None, max_paths=2000000, cache_dir=None):
+    """Fetch ``mudd``'s model cone from the process-wide default cache.
+
+    With ``cache_dir`` the lookup goes through a disk-backed cache over
+    that directory instead (one shared instance per directory per
+    process), so cones persist across runs and processes.
+    """
+    if cache_dir is not None:
+        return shared_cache(cache_dir).get(
+            mudd, counters=counters, max_paths=max_paths
+        )
     return _default_cache.get(mudd, counters=counters, max_paths=max_paths)
+
+
+def shared_cache(cache_dir):
+    """The process-wide disk-backed :class:`ModelConeCache` over
+    ``cache_dir`` (one instance per normalised directory path)."""
+    import os
+
+    key = os.path.abspath(os.fspath(cache_dir))
+    cache = _dir_caches.get(key)
+    if cache is None:
+        cache = _dir_caches[key] = ModelConeCache(disk=key)
+    return cache
 
 
 def default_cache():
@@ -147,4 +235,5 @@ __all__ = [
     "default_cache",
     "get_model_cone",
     "mudd_fingerprint",
+    "shared_cache",
 ]

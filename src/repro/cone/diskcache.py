@@ -1,0 +1,239 @@
+"""Persistent on-disk tier for the model-cone cache.
+
+The in-process :class:`~repro.cone.cache.ModelConeCache` dies with the
+process, so every fresh run — a new CLI invocation, a new CI job, a new
+pool worker — pays µpath enumeration and (worse) constraint deduction
+again. This module stores pickled :class:`~repro.cone.model_cone.
+ModelCone` objects in a directory, content-addressed by the same
+canonical µDD fingerprint the memory tier uses, so a cone is computed
+once per model *ever* and shared between concurrent processes.
+
+Design points:
+
+* **Atomic writes.** Entries are written to a temporary file in the
+  cache directory and published with :func:`os.replace`, which is atomic
+  on POSIX and Windows within one filesystem. Two processes warming the
+  same directory concurrently can only ever race whole files — a reader
+  sees either nothing or a complete entry, never a torn one.
+* **Version-stamped entries.** Each payload records
+  :data:`CACHE_FORMAT_VERSION` and the entry's own key. A mismatch (an
+  old cache directory read by a newer repro, or vice versa) is treated
+  as a miss and the stale file is removed — never a crash.
+* **Corruption tolerance.** Any unpickling failure — truncated file,
+  foreign bytes, a class that moved — degrades to a miss and recompute.
+* **LRU size cap.** File mtimes double as recency; after each write the
+  directory is pruned oldest-first down to ``max_bytes``.
+"""
+
+import os
+import pickle
+import tempfile
+
+from repro.errors import AnalysisError
+
+#: Bump when the on-disk payload layout or the pickled classes change
+#: incompatibly; old entries are then recomputed instead of trusted.
+CACHE_FORMAT_VERSION = 1
+
+_ENTRY_SUFFIX = ".conepkl"
+
+#: Unpublished temp files older than this are garbage from a process
+#: that died mid-write; prune() sweeps them.
+_STALE_TMP_SECONDS = 600.0
+
+
+class DiskConeCache:
+    """Content-addressed directory of pickled model cones.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory to store entries in (created if missing). Safe to
+        share between concurrent processes and across runs.
+    max_bytes:
+        LRU size cap for the directory; pruned after each write.
+        ``None`` disables pruning.
+    version:
+        Format stamp for entries (overridable for tests); entries
+        carrying any other stamp are recomputed.
+    """
+
+    def __init__(self, cache_dir, max_bytes=256 * 1024 * 1024,
+                 version=CACHE_FORMAT_VERSION):
+        if max_bytes is not None and max_bytes <= 0:
+            raise AnalysisError("disk cache max_bytes must be positive")
+        self.cache_dir = os.fspath(cache_dir)
+        self.max_bytes = max_bytes
+        self.version = version
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        os.makedirs(self.cache_dir, exist_ok=True)
+
+    # -- key/path plumbing -------------------------------------------------
+    def _path(self, key):
+        fingerprint, max_paths = key
+        return os.path.join(
+            self.cache_dir, "%s-%d%s" % (fingerprint, max_paths, _ENTRY_SUFFIX)
+        )
+
+    # -- entry I/O ---------------------------------------------------------
+    def get(self, key):
+        """The cached cone for ``key``, or ``None``.
+
+        Every failure mode — missing file, version mismatch, truncated
+        or corrupt pickle — counts as a miss so callers always fall back
+        to recomputing. The mtime of a hit entry is refreshed so LRU
+        pruning tracks use, not just creation.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Torn write from a dead process, foreign bytes, moved
+            # classes: recompute rather than crash, and drop the file.
+            self._discard(path)
+            self.misses += 1
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != self.version
+            or payload.get("key") != tuple(key)
+        ):
+            self._discard(path)
+            self.misses += 1
+            return None
+        self._touch(path)
+        self.hits += 1
+        return payload["cone"]
+
+    def put(self, key, cone):
+        """Atomically publish ``cone`` under ``key`` and prune to cap."""
+        payload = {"version": self.version, "key": tuple(key), "cone": cone}
+        data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        descriptor, temp_path = tempfile.mkstemp(
+            dir=self.cache_dir, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                handle.write(data)
+            os.replace(temp_path, self._path(key))
+        except BaseException:
+            self._discard(temp_path)
+            raise
+        self.prune()
+
+    def __contains__(self, key):
+        return os.path.exists(self._path(key))
+
+    def __len__(self):
+        return len(self._entries())
+
+    # -- maintenance -------------------------------------------------------
+    def _entries(self):
+        try:
+            names = os.listdir(self.cache_dir)
+        except OSError:
+            return []
+        return [
+            os.path.join(self.cache_dir, name)
+            for name in names
+            if name.endswith(_ENTRY_SUFFIX)
+        ]
+
+    def total_bytes(self):
+        """Bytes currently used by cache entries."""
+        total = 0
+        for path in self._entries():
+            try:
+                total += os.path.getsize(path)
+            except OSError:
+                pass
+        return total
+
+    def _temp_files(self):
+        try:
+            names = os.listdir(self.cache_dir)
+        except OSError:
+            return []
+        return [
+            os.path.join(self.cache_dir, name)
+            for name in names
+            if name.endswith(".tmp")
+        ]
+
+    def _sweep_stale_temps(self, max_age=_STALE_TMP_SECONDS):
+        """Remove temp files abandoned by processes killed mid-write.
+
+        Only files older than ``max_age`` go: a *young* temp file may
+        belong to a concurrent writer that is about to publish it.
+        """
+        import time
+
+        now = time.time()
+        for path in self._temp_files():
+            try:
+                if now - os.stat(path).st_mtime >= max_age:
+                    self._discard(path)
+            except OSError:
+                continue
+
+    def prune(self):
+        """Evict least-recently-used entries until under ``max_bytes``
+        (and sweep temp files orphaned by dead writers)."""
+        self._sweep_stale_temps()
+        if self.max_bytes is None:
+            return
+        stats = []
+        for path in self._entries():
+            try:
+                info = os.stat(path)
+            except OSError:
+                continue
+            stats.append((info.st_mtime, info.st_size, path))
+        total = sum(size for _, size, _ in stats)
+        if total <= self.max_bytes:
+            return
+        stats.sort()  # oldest mtime first
+        for _, size, path in stats:
+            if total <= self.max_bytes:
+                break
+            if self._discard(path):
+                self.evictions += 1
+                total -= size
+
+    def clear(self):
+        """Remove every entry and temp file (counters are kept)."""
+        for path in self._entries():
+            self._discard(path)
+        self._sweep_stale_temps(max_age=0.0)
+
+    @staticmethod
+    def _touch(path):
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+
+    @staticmethod
+    def _discard(path):
+        try:
+            os.unlink(path)
+            return True
+        except OSError:
+            return False
+
+    def __repr__(self):
+        return "DiskConeCache(%r, %d entries, %d hits, %d misses)" % (
+            self.cache_dir,
+            len(self),
+            self.hits,
+            self.misses,
+        )
+
+
+__all__ = ["CACHE_FORMAT_VERSION", "DiskConeCache"]

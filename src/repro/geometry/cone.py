@@ -170,6 +170,19 @@ class Cone:
     def from_generators(cls, generators, ambient_dim=None):
         return cls(generators, ambient_dim=ambient_dim)
 
+    def __getstate__(self):
+        # The persistent HiGHS model wraps a C++ handle that cannot
+        # cross pickle boundaries (process pools, the on-disk cone
+        # cache); it and the float matrix are lazily rebuilt on use.
+        state = dict(self.__dict__)
+        state["_scipy_matrix"] = None
+        state["_scipy_model"] = None
+        state["_scipy_model_built"] = False
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+
     # -- basic structure ------------------------------------------------
     @property
     def dim(self):

@@ -1,0 +1,176 @@
+"""The process-pool core: chunked, deterministic, fallback-safe maps.
+
+:class:`ParallelRunner` deliberately exposes only order-preserving map
+operations — ``map_cells`` (one function over many work items) and
+``map_models`` (a convenience alias with the same contract) — because
+every CounterPoint workload that shards is a matrix of independent
+cells. Keeping the surface to "a map that cannot change results" is
+what makes ``workers=N`` safe to default on everywhere: the serial path
+and the pooled path are the same function applied to the same cells in
+the same order.
+
+The pool itself is persistent: the first pooled ``map_cells`` spawns
+the workers and later calls reuse them, so a pipeline that sweeps
+twenty models pays worker startup once, not twenty times. ``close()``
+(or garbage collection) shuts the pool down.
+
+Fallback rules (all produce results identical to the pool path):
+
+* ``workers=1`` or a single cell: run in-process, no pool spawned.
+* the function or the first cell fails a pre-flight pickle check
+  (closures, lambdas, live device handles), or a later cell turns out
+  unpicklable at dispatch: run in-process and count it in
+  ``fallbacks`` rather than raising mid-flight. (Cells at our call
+  sites are homogeneous payload dicts, so checking one is cheap and
+  representative — the dispatch-time catch covers the rest.)
+* the pool itself dies (:class:`~concurrent.futures.process.
+  BrokenProcessPool`, e.g. a worker OOM-killed): discard it, retry
+  in-process; the next call builds a fresh pool.
+"""
+
+import os
+import pickle
+
+from repro.errors import AnalysisError
+
+try:  # pragma: no cover - import shape varies across Python versions
+    from concurrent.futures.process import BrokenProcessPool
+except ImportError:  # pragma: no cover
+    BrokenProcessPool = OSError
+
+
+def split_seeds(seed, n, stride=1):
+    """The serial loops' seed schedule, reified.
+
+    ``simulate_dataset`` gives run ``i`` seed ``seed + i``;
+    ``cross_refute`` gives row ``r`` seed ``seed + 1000 * r``. Cells
+    dispatched to workers carry these exact per-cell seeds, so a pooled
+    run draws the same random streams as the serial one.
+    """
+    if n < 0:
+        raise AnalysisError("cannot split a negative number of seeds")
+    return [seed + stride * index for index in range(n)]
+
+
+def _picklable(obj):
+    try:
+        pickle.dumps(obj)
+        return True
+    except Exception:
+        return False
+
+
+class ParallelRunner:
+    """Shard independent work cells across a persistent process pool.
+
+    Parameters
+    ----------
+    workers:
+        Pool size; ``None`` means ``os.cpu_count()``. ``1`` disables
+        the pool entirely (pure serial execution, nothing pickled).
+    cache_dir:
+        Persistent cone-cache directory handed to workers that build
+        model cones, so deduction work is shared instead of repeated
+        per worker (see :mod:`repro.cone.diskcache`).
+    chunk_size:
+        Cells per dispatched chunk; ``None`` picks ``ceil(n_cells /
+        (4 * workers))`` — large enough to amortise IPC, small enough
+        to load-balance uneven cells.
+    """
+
+    def __init__(self, workers=None, cache_dir=None, chunk_size=None):
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise AnalysisError("workers must be at least 1, got %r" % (workers,))
+        if chunk_size is not None and chunk_size < 1:
+            raise AnalysisError("chunk_size must be at least 1")
+        self.workers = int(workers)
+        self.cache_dir = None if cache_dir is None else os.fspath(cache_dir)
+        self.chunk_size = chunk_size
+        self.fallbacks = 0
+        self.dispatches = 0
+        self._executor = None
+
+    @property
+    def serial(self):
+        """Whether this runner always executes in-process."""
+        return self.workers == 1
+
+    def _pool(self):
+        if self._executor is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        return self._executor
+
+    def close(self):
+        """Shut the worker pool down (idempotent; a later pooled call
+        transparently builds a fresh pool)."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _chunk_size_for(self, n_cells, chunk_size):
+        if chunk_size is not None:
+            return chunk_size
+        if self.chunk_size is not None:
+            return self.chunk_size
+        return max(1, -(-n_cells // (4 * self.workers)))
+
+    def map_cells(self, fn, cells, chunk_size=None):
+        """Apply ``fn`` to every cell, preserving order.
+
+        ``fn`` must be a module-level callable for the pooled path (the
+        pool pickles it by qualified name); anything else triggers the
+        serial fallback, never an error. Exceptions raised by ``fn``
+        propagate to the caller in both paths.
+        """
+        cells = list(cells)
+        if self.workers == 1 or len(cells) <= 1:
+            return [fn(cell) for cell in cells]
+        if not _picklable(fn) or not _picklable(cells[0]):
+            self.fallbacks += 1
+            return [fn(cell) for cell in cells]
+        chunk = self._chunk_size_for(len(cells), chunk_size)
+        self.dispatches += 1
+        try:
+            return list(self._pool().map(fn, cells, chunksize=chunk))
+        except (pickle.PicklingError, TypeError, AttributeError):
+            # A later, heterogeneous cell slipped past the pre-flight
+            # check (C-extension handles raise TypeError, closures
+            # AttributeError — not just PicklingError). Cells are pure
+            # functions of their payloads (cache writes are idempotent),
+            # so rerunning serially is safe; a genuine TypeError from
+            # ``fn`` itself re-raises identically from the serial rerun.
+            self.fallbacks += 1
+            return [fn(cell) for cell in cells]
+        except BrokenProcessPool:
+            # A worker died (OOM, signal). The cells are pure functions
+            # of their payloads, so re-running serially is safe; drop
+            # the dead pool so the next call starts a fresh one.
+            self.close()
+            self.fallbacks += 1
+            return [fn(cell) for cell in cells]
+
+    def map_models(self, fn, models, chunk_size=None):
+        """Alias of :meth:`map_cells` for model-shaped work — reads
+        better at call sites that shard a model library."""
+        return self.map_cells(fn, models, chunk_size=chunk_size)
+
+    def __repr__(self):
+        return "ParallelRunner(workers=%d%s, %d dispatches, %d fallbacks)" % (
+            self.workers,
+            ", cache_dir=%r" % (self.cache_dir,) if self.cache_dir else "",
+            self.dispatches,
+            self.fallbacks,
+        )
+
+
+__all__ = ["ParallelRunner", "split_seeds"]

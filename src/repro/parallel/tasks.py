@@ -1,0 +1,296 @@
+"""Worker functions and the high-level sharded entry points.
+
+Every worker here is a module-level function of one picklable payload
+dict — the shape :class:`repro.parallel.runner.ParallelRunner` requires
+for the pooled path. Payloads carry *models and parameters*, not live
+solver state: each worker rebuilds its own :class:`CounterPoint` (with
+``workers=1`` — workers never nest pools) and, when a ``cache_dir`` is
+present, coordinates through the shared on-disk cone cache so expensive
+deduction happens in exactly one process.
+
+The high-level functions (:func:`parallel_sweep`,
+:func:`parallel_cross_refute`, :func:`parallel_simulate_dataset`,
+:func:`parallel_closed_loop`) are what :class:`repro.pipeline.
+CounterPoint` and :func:`repro.sim.scenarios.closed_loop` route to when
+``workers > 1``; each is bit-for-bit equivalent to its serial
+counterpart (same seeds, same ordering, same verdicts).
+"""
+
+from repro.parallel.runner import split_seeds
+
+
+def _chunks(items, n_chunks):
+    """Split ``items`` into at most ``n_chunks`` contiguous runs,
+    preserving order (sizes differ by at most one)."""
+    items = list(items)
+    n_chunks = max(1, min(n_chunks, len(items)))
+    base, extra = divmod(len(items), n_chunks)
+    out, start = [], 0
+    for index in range(n_chunks):
+        size = base + (1 if index < extra else 0)
+        out.append(items[start:start + size])
+        start += size
+    return out
+
+
+# -- sweep -----------------------------------------------------------------
+
+def run_sweep_chunk(payload):
+    """Worker: sweep one observation chunk against a shipped cone.
+
+    Returns the chunk's infeasible observation names in dataset order,
+    so concatenating chunk results reproduces the serial name list.
+    """
+    from repro.pipeline import CounterPoint
+
+    counterpoint = CounterPoint(
+        backend=payload["backend"],
+        confidence=payload["confidence"],
+        cache=False,
+    )
+    sweep = counterpoint.sweep(
+        payload["cone"],
+        payload["observations"],
+        use_regions=payload["use_regions"],
+        correlated=payload["correlated"],
+    )
+    return sweep.infeasible_names
+
+
+def parallel_sweep(runner, cone, observations, backend="exact",
+                   confidence=0.99, use_regions=False, correlated=True):
+    """Shard one model's dataset sweep across the pool.
+
+    The cone is built once by the caller and shipped to every worker
+    (cones pickle without their process-local solver state); each
+    worker runs the normal batched feasibility path on a contiguous
+    observation chunk. One chunk per worker keeps the exact facet
+    screen's batching intact.
+    """
+    from repro.pipeline import ModelSweep
+
+    observations = list(observations)
+    cells = [
+        {
+            "cone": cone,
+            "observations": chunk,
+            "backend": backend,
+            "confidence": confidence,
+            "use_regions": use_regions,
+            "correlated": correlated,
+        }
+        for chunk in _chunks(observations, runner.workers)
+    ]
+    infeasible = []
+    for names in runner.map_cells(run_sweep_chunk, cells, chunk_size=1):
+        infeasible.extend(names)
+    return ModelSweep(cone.name, infeasible, len(observations))
+
+
+# -- cross_refute ----------------------------------------------------------
+
+def run_cross_refute_row(payload):
+    """Worker: one (row, candidate-subset) cell of the closed-loop
+    matrix — simulate the row's observed model, sweep the cell's
+    candidates against the dataset.
+
+    The row seed is the serial schedule's ``seed + 1000 * row``, so the
+    simulated observations are identical to a serial run's regardless
+    of how the row's candidates were split across cells (every cell of
+    a row re-simulates the same dataset — simulation is cheap next to
+    the sweeps the split parallelises).
+    """
+    from repro.pipeline import CounterPoint
+    from repro.sim import simulate_dataset
+
+    observed = payload["observed"]
+    observations = simulate_dataset(
+        observed,
+        payload["n_observations"],
+        n_uops=payload["n_uops"],
+        weights=payload["weights"],
+        seed=payload["row_seed"],
+    )
+    counters = observations[0].samples.counters
+    counterpoint = CounterPoint(
+        backend=payload["backend"],
+        confidence=payload["confidence"],
+        cache_dir=payload["cache_dir"],
+    )
+    sweeps = {}
+    for candidate in payload["candidates"]:
+        cone = counterpoint.model_cone(candidate, counters=counters)
+        sweeps[candidate.name] = counterpoint.sweep(cone, observations)
+    return observed.name, sweeps
+
+
+def parallel_cross_refute(runner, mudds, n_observations=3, n_uops=20000,
+                          weights=None, seed=0, backend="exact",
+                          confidence=0.99):
+    """Shard the cross-refutation matrix across the pool.
+
+    The base unit is a row (observed model): rows are fully
+    independent, and candidate cones are shared between rows through
+    the runner's ``cache_dir`` when set. When the matrix has fewer
+    rows than would keep the pool busy (``rows < 2 * workers``), each
+    row's candidate list is additionally split so every worker gets
+    work — the merged result is identical either way.
+    """
+    mudds = list(mudds)
+    row_seeds = split_seeds(seed, len(mudds), stride=1000)
+    # ceil(2*workers / rows) candidate chunks per row keeps ~2 cells
+    # per worker in flight for load balancing on uneven rows.
+    n_splits = max(1, -(-2 * runner.workers // max(1, len(mudds))))
+    candidate_chunks = _chunks(mudds, n_splits)
+    cells = [
+        {
+            "observed": observed,
+            "candidates": chunk,
+            "n_observations": n_observations,
+            "n_uops": n_uops,
+            "weights": weights,
+            "row_seed": row_seed,
+            "backend": backend,
+            "confidence": confidence,
+            "cache_dir": runner.cache_dir,
+        }
+        for observed, row_seed in zip(mudds, row_seeds)
+        for chunk in candidate_chunks
+    ]
+    matrix = {}
+    for name, sweeps in runner.map_cells(run_cross_refute_row, cells, chunk_size=1):
+        matrix.setdefault(name, {}).update(sweeps)
+    return matrix
+
+
+# -- simulated datasets ----------------------------------------------------
+
+def run_simulate_chunk(payload):
+    """Worker: simulate a contiguous run-index chunk of one dataset,
+    reproducing the serial per-run seeds and observation names."""
+    from repro.sim.scenarios import simulate_observation
+
+    mudd = payload["mudd"]
+    return [
+        simulate_observation(
+            mudd,
+            n_uops=payload["n_uops"],
+            weights=payload["weights"],
+            seed=payload["seed"] + run,
+            noisy=payload["noisy"],
+            name="sim:%s/run%d" % (mudd.name, run),
+            **payload["options"]
+        )
+        for run in payload["runs"]
+    ]
+
+
+def parallel_simulate_dataset(runner, model, n_observations, n_uops=20000,
+                              weights=None, seed=0, noisy=False, **options):
+    """Shard dataset simulation across the pool by run index.
+
+    Run ``i`` always draws from seed ``seed + i`` (the serial
+    schedule), so the pooled dataset equals the serial one
+    observation-for-observation regardless of how runs were chunked.
+    """
+    from repro.sim.scenarios import as_mudd
+
+    mudd = as_mudd(model)
+    cells = [
+        {
+            "mudd": mudd,
+            "runs": chunk,
+            "n_uops": n_uops,
+            "weights": weights,
+            "seed": seed,
+            "noisy": noisy,
+            "options": options,
+        }
+        for chunk in _chunks(range(n_observations), runner.workers)
+    ]
+    observations = []
+    for chunk in runner.map_cells(run_simulate_chunk, cells, chunk_size=1):
+        observations.extend(chunk)
+    return tuple(observations)
+
+
+# -- closed loop -----------------------------------------------------------
+
+def run_closed_loop_candidate(payload):
+    """Worker: analyse the shared simulated target against one
+    candidate model (cone served from the disk cache when present)."""
+    from repro.pipeline import CounterPoint
+    from repro.sim.scenarios import as_mudd
+
+    counterpoint = CounterPoint(
+        backend=payload["backend"],
+        confidence=payload["confidence"],
+        cache_dir=payload["cache_dir"],
+    )
+    cone = counterpoint.model_cone(
+        as_mudd(payload["candidate"]), counters=payload["counters"]
+    )
+    return counterpoint.analyze(cone, payload["target"])
+
+
+def parallel_closed_loop(runner, observation, candidate_models,
+                         backend="exact", confidence=0.99,
+                         use_regions=False):
+    """Shard :func:`repro.sim.scenarios.closed_loop`'s candidate loop.
+
+    The observation is simulated once by the caller; each worker tests
+    it against one candidate. Returns ``{candidate_name:
+    AnalysisReport}`` in candidate order, like the serial loop.
+    """
+    counters = observation.samples.counters
+    target = (
+        observation.region(confidence=confidence)
+        if use_regions
+        else observation.point()
+    )
+    cells = [
+        {
+            "candidate": candidate,
+            "counters": counters,
+            "target": target,
+            "backend": backend,
+            "confidence": confidence,
+            "cache_dir": runner.cache_dir,
+        }
+        for candidate in candidate_models
+    ]
+    reports = {}
+    for report in runner.map_cells(run_closed_loop_candidate, cells):
+        reports[report.model_name] = report
+    return reports
+
+
+# -- guided search ---------------------------------------------------------
+
+def run_feature_evaluation(payload):
+    """Worker: feasibility of one feature set against the dataset
+    (the guided search's unit of work)."""
+    from repro.cone import test_point_feasibility
+
+    cone = payload["cone_builder"](payload["features"])
+    infeasible = [
+        name
+        for name, point in payload["points"]
+        if not test_point_feasibility(
+            cone, point, backend=payload["backend"]
+        ).feasible
+    ]
+    return frozenset(payload["features"]), infeasible
+
+
+__all__ = [
+    "parallel_closed_loop",
+    "parallel_cross_refute",
+    "parallel_simulate_dataset",
+    "parallel_sweep",
+    "run_closed_loop_candidate",
+    "run_cross_refute_row",
+    "run_feature_evaluation",
+    "run_simulate_chunk",
+    "run_sweep_chunk",
+]

@@ -36,6 +36,8 @@ class AnalysisReport:
         self.witness = witness
 
     def summary(self):
+        """One-paragraph human rendering: the verdict, and for an
+        infeasible observation every violated model constraint."""
         if self.feasible:
             return "%s: feasible" % (self.model_name,)
         lines = ["%s: INFEASIBLE (%d violated constraints)" % (
@@ -60,10 +62,13 @@ class ModelSweep:
 
     @property
     def n_infeasible(self):
+        """How many observations the model failed to explain."""
         return len(self.infeasible_names)
 
     @property
     def feasible(self):
+        """Whether the model explains *every* observation — one
+        infeasible observation refutes a model (the paper's bar)."""
         return not self.infeasible_names
 
     def __repr__(self):
@@ -94,18 +99,66 @@ class CounterPoint:
         out (every call rebuilds from scratch); an existing
         :class:`~repro.cone.cache.ModelConeCache` may also be passed to
         share one cache between pipelines.
+    workers:
+        Process-pool size for the sharded workloads (:meth:`sweep`,
+        :meth:`cross_refute`, :meth:`simulate_dataset`); ``1`` (the
+        default) keeps everything in-process, ``None`` means one worker
+        per CPU. Parallel runs produce results identical to serial ones
+        — same seeds, same ordering, same verdicts (see
+        :mod:`repro.parallel`).
+    cache_dir:
+        Directory for the persistent on-disk cone-cache tier
+        (:mod:`repro.cone.diskcache`). Cones — including their deduced
+        constraints — then survive the process and are shared between
+        pool workers and across runs, so each model is deduced once
+        *ever*. Requires the default ``cache=True`` (to combine a
+        custom cache with a disk tier, pass
+        ``cache=ModelConeCache(disk=cache_dir)`` instead).
     """
 
-    def __init__(self, counters=None, backend="exact", confidence=0.99, cache=True):
+    def __init__(self, counters=None, backend="exact", confidence=0.99,
+                 cache=True, workers=1, cache_dir=None):
         self.counters = counters
         self.backend = backend
         self.confidence = confidence
-        if cache is True:
+        self.cache_dir = cache_dir
+        if cache_dir is not None and cache is not True:
+            # cache=False has nothing to attach a disk tier to, and an
+            # explicit cache instance would silently shadow cache_dir.
+            raise AnalysisError(
+                "cache_dir requires the default cache=True (got cache=%r); "
+                "pass ModelConeCache(disk=cache_dir) explicitly to combine "
+                "a custom cache with a disk tier" % (cache,)
+            )
+        if cache_dir is not None and cache is True:
+            from repro.cone.cache import shared_cache
+
+            self.cone_cache = shared_cache(cache_dir)
+        elif cache is True:
             self.cone_cache = ModelConeCache()
         elif cache is False or cache is None:
             self.cone_cache = None
         else:
             self.cone_cache = cache
+        if workers is not None and workers < 1:
+            raise AnalysisError("workers must be at least 1, got %r" % (workers,))
+        self.workers = workers
+        self._runner = None
+
+    def runner(self):
+        """The pipeline's :class:`~repro.parallel.ParallelRunner`
+        (built lazily; callers may share it for custom sharding)."""
+        if self._runner is None:
+            from repro.parallel import ParallelRunner
+
+            self._runner = ParallelRunner(
+                workers=self.workers, cache_dir=self.cache_dir
+            )
+        return self._runner
+
+    def _parallel(self):
+        """Whether sharded workloads should route to the pool."""
+        return self.workers is None or self.workers > 1
 
     # -- model ingestion ---------------------------------------------------
     def model_cone(self, model, counters=None):
@@ -152,12 +205,40 @@ class CounterPoint:
     def sweep(self, model, observations, use_regions=False, correlated=True):
         """Evaluate a model against a dataset of observations.
 
-        ``use_regions=True`` summarises each observation's samples as a
-        confidence region (correlated or independent) instead of using
-        exact totals.
+        Parameters
+        ----------
+        model:
+            Anything :meth:`model_cone` accepts (DSL source, µDD, or a
+            ready :class:`~repro.cone.ModelCone`).
+        observations:
+            Objects with ``name`` and ``point()`` — typically
+            :class:`repro.models.dataset.Observation`.
+        use_regions:
+            Summarise each observation's samples as a confidence region
+            (correlated or independent) instead of using exact totals.
+        correlated:
+            With ``use_regions``, whether regions model cross-counter
+            covariance (the paper's Section 4 estimator) or the
+            independent-counter baseline.
+
+        Returns a :class:`ModelSweep` naming the infeasible
+        observations in dataset order. With ``workers > 1`` the dataset
+        is sharded across the process pool (identical results).
         """
         cone = self.model_cone(model)
         observations = list(observations)
+        if self._parallel() and len(observations) > 1:
+            from repro.parallel import parallel_sweep
+
+            return parallel_sweep(
+                self.runner(),
+                cone,
+                observations,
+                backend=self.backend,
+                confidence=self.confidence,
+                use_regions=use_regions,
+                correlated=correlated,
+            )
         infeasible = []
         if use_regions:
             for observation in observations:
@@ -181,7 +262,14 @@ class CounterPoint:
         return ModelSweep(cone.name, infeasible, len(observations))
 
     def compare(self, models, observations, **sweep_options):
-        """Sweep several models; returns ``{model_name: ModelSweep}``."""
+        """Sweep several candidate models over one dataset.
+
+        The multi-model view of :meth:`sweep` — the workflow behind the
+        paper's Table 3: rank a model family by how many observations
+        each member fails to explain. Keyword options pass through to
+        :meth:`sweep`. Returns ``{model_name: ModelSweep}`` in model
+        order; each sweep shards across the pool when ``workers > 1``.
+        """
         results = {}
         for model in models:
             sweep = self.sweep(model, observations, **sweep_options)
@@ -205,9 +293,22 @@ class CounterPoint:
 
     def simulate_dataset(self, model, n_observations, n_uops=20000, **options):
         """Independent simulated observations of one model, ready for
-        :meth:`sweep` / :meth:`compare`."""
+        :meth:`sweep` / :meth:`compare`.
+
+        Run ``i`` draws from seed ``seed + i``, so datasets are
+        reproducible; with ``workers > 1`` the runs are sharded across
+        the process pool under the same per-run seeds (identical
+        observations, faster wall-clock). Options pass through to
+        :func:`repro.sim.simulate_observation`.
+        """
         from repro.sim import simulate_dataset
 
+        if self._parallel() and n_observations > 1:
+            from repro.parallel import parallel_simulate_dataset
+
+            return parallel_simulate_dataset(
+                self.runner(), model, n_observations, n_uops=n_uops, **options
+            )
         return simulate_dataset(model, n_observations, n_uops=n_uops, **options)
 
     def cross_refute(
@@ -220,10 +321,29 @@ class CounterPoint:
         conservation: simulated totals lie in the generating model's
         cone); an off-diagonal infeasible entry means the candidate's
         mechanisms cannot explain the observed model's behaviour.
+
+        Row ``r`` simulates from seed ``seed + 1000 * r``. With
+        ``workers > 1`` the matrix shards by row across the process
+        pool — rows are independent — and with ``cache_dir`` set the
+        workers share candidate cones through the on-disk cache instead
+        of each deducing its own.
         """
         from repro.sim import as_mudd, simulate_dataset
 
         mudds = [as_mudd(model) for model in models]
+        if self._parallel() and len(mudds) > 1:
+            from repro.parallel import parallel_cross_refute
+
+            return parallel_cross_refute(
+                self.runner(),
+                mudds,
+                n_observations=n_observations,
+                n_uops=n_uops,
+                weights=weights,
+                seed=seed,
+                backend=self.backend,
+                confidence=self.confidence,
+            )
         matrix = {}
         for row, observed in enumerate(mudds):
             observations = simulate_dataset(

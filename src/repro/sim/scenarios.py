@@ -138,7 +138,9 @@ def trace_observation(model, oracle, workload, n_uops, n_intervals=20, name=None
     )
 
 
-def closed_loop(observed_model, candidate_models, n_uops=20000, weights=None, seed=0, backend="exact", use_regions=False, confidence=0.99):
+def closed_loop(observed_model, candidate_models, n_uops=20000, weights=None,
+                seed=0, backend="exact", use_regions=False, confidence=0.99,
+                workers=1, cache_dir=None):
     """Simulate observations from one model; test every candidate.
 
     Returns ``{candidate_name: AnalysisReport}``. The observed model
@@ -148,10 +150,13 @@ def closed_loop(observed_model, candidate_models, n_uops=20000, weights=None, se
     disagree get refuted, closing the simulate→refute loop.
 
     Candidate cones come from the process-wide content-addressed cache
-    (:func:`repro.cone.cache.get_model_cone`), so repeated closed-loop
-    runs over the same model library skip µpath enumeration — and skip
-    constraint deduction entirely once a candidate has been refuted
-    before.
+    (:func:`repro.cone.cache.get_model_cone`) — with ``cache_dir`` from
+    its persistent on-disk tier, so repeated closed-loop runs skip
+    µpath enumeration (and constraint deduction, once a candidate has
+    ever been refuted) even across processes and CI runs. With
+    ``workers > 1`` the candidate loop shards across a process pool
+    (:func:`repro.parallel.parallel_closed_loop`) with identical
+    results.
     """
     from repro.cone.cache import get_model_cone
     from repro.pipeline import CounterPoint
@@ -159,6 +164,19 @@ def closed_loop(observed_model, candidate_models, n_uops=20000, weights=None, se
     observation = simulate_observation(
         observed_model, n_uops=n_uops, weights=weights, seed=seed, noisy=use_regions
     )
+    candidate_models = list(candidate_models)
+    if workers is None or workers > 1:
+        from repro.parallel import ParallelRunner, parallel_closed_loop
+
+        runner = ParallelRunner(workers=workers, cache_dir=cache_dir)
+        return parallel_closed_loop(
+            runner,
+            observation,
+            candidate_models,
+            backend=backend,
+            confidence=confidence,
+            use_regions=use_regions,
+        )
     counters = observation.samples.counters
     counterpoint = CounterPoint(backend=backend, confidence=confidence)
     target = (
@@ -168,7 +186,9 @@ def closed_loop(observed_model, candidate_models, n_uops=20000, weights=None, se
     )
     reports = {}
     for candidate in candidate_models:
-        cone = get_model_cone(as_mudd(candidate), counters=counters)
+        cone = get_model_cone(
+            as_mudd(candidate), counters=counters, cache_dir=cache_dir
+        )
         report = counterpoint.analyze(cone, target)
         reports[report.model_name] = report
     return reports

@@ -1,0 +1,270 @@
+"""The persistent on-disk cone-cache tier (repro.cone.diskcache).
+
+Covers the correctness properties the tier promises:
+
+* round-trip fidelity (cones, including deduced constraints, survive
+  the disk and a fresh process),
+* version-stamp mismatches and corrupt entries degrade to recompute —
+  never a crash,
+* two processes warming the same directory concurrently cannot corrupt
+  entries (atomic whole-file publication),
+* the LRU byte cap evicts oldest-first,
+* a warm directory lets a literal fresh process skip deduction
+  entirely (hit counters prove it).
+"""
+
+import os
+import pickle
+import subprocess
+import sys
+
+import pytest
+
+from repro.cone import DiskConeCache, ModelConeCache, mudd_fingerprint
+from repro.cone.diskcache import CACHE_FORMAT_VERSION
+from repro.errors import AnalysisError
+from repro.models.bundled import bundled_model_names
+from repro.sim import as_mudd
+
+REPO_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+
+
+@pytest.fixture()
+def cache_dir(tmp_path):
+    return str(tmp_path / "cones")
+
+
+@pytest.fixture()
+def mudd():
+    return as_mudd("merging_load_side")
+
+
+def _key(mudd, max_paths=2000000):
+    return (mudd_fingerprint(mudd), max_paths)
+
+
+class TestDiskTier:
+    def test_round_trip(self, cache_dir, mudd):
+        cache = ModelConeCache(disk=cache_dir)
+        cone = cache.get(mudd)
+        cone.constraints()
+        cache.get(mudd)  # write-back of the deduced constraints
+
+        fresh = ModelConeCache(disk=cache_dir)
+        loaded = fresh.get(mudd)
+        assert fresh.builds == 0
+        assert fresh.disk_hits == 1
+        assert loaded.counters == cone.counters
+        assert loaded.signatures == cone.signatures
+        assert loaded.has_deduced_constraints()
+        assert [c.render() for c in loaded.constraints()] == [
+            c.render() for c in cone.constraints()
+        ]
+
+    def test_loaded_cone_rebuilds_solver_state(self, cache_dir, mudd):
+        cache = ModelConeCache(disk=cache_dir)
+        original = cache.get(mudd)
+        original.signature_array()
+        original.flow_model()
+
+        loaded = ModelConeCache(disk=cache_dir).get(mudd)
+        # Process-local accelerators are dropped on pickle and lazily
+        # rebuilt — feasibility still works end to end.
+        assert loaded._signature_array is None
+        assert loaded._flow_model is None and not loaded._flow_model_built
+        from repro.cone import test_point_feasibility
+
+        point = dict(zip(loaded.counters, loaded.signatures[0]))
+        assert test_point_feasibility(loaded, point, backend="scipy").feasible
+
+    def test_version_mismatch_recomputes(self, cache_dir, mudd):
+        old = DiskConeCache(cache_dir, version=CACHE_FORMAT_VERSION - 1)
+        ModelConeCache(disk=old).get(mudd)
+        assert len(old) == 1
+
+        current = ModelConeCache(disk=DiskConeCache(cache_dir))
+        cone = current.get(mudd)  # stale entry: recompute, no crash
+        assert cone is not None
+        assert current.builds == 1
+        assert current.disk.hits == 0
+        # The stale file was replaced by a current-version entry.
+        fresh = ModelConeCache(disk=DiskConeCache(cache_dir))
+        fresh.get(mudd)
+        assert fresh.builds == 0
+
+    def test_corrupt_entry_recomputes(self, cache_dir, mudd):
+        disk = DiskConeCache(cache_dir)
+        ModelConeCache(disk=disk).get(mudd)
+        (entry,) = disk._entries()
+        with open(entry, "wb") as handle:
+            handle.write(b"\x80garbage: not a pickle")
+
+        cache = ModelConeCache(disk=DiskConeCache(cache_dir))
+        assert cache.get(mudd) is not None
+        assert cache.builds == 1
+
+    def test_truncated_entry_recomputes(self, cache_dir, mudd):
+        disk = DiskConeCache(cache_dir)
+        ModelConeCache(disk=disk).get(mudd)
+        (entry,) = disk._entries()
+        data = open(entry, "rb").read()
+        with open(entry, "wb") as handle:
+            handle.write(data[: len(data) // 2])
+
+        cache = ModelConeCache(disk=DiskConeCache(cache_dir))
+        assert cache.get(mudd) is not None
+        assert cache.builds == 1
+
+    def test_foreign_payload_shape_recomputes(self, cache_dir, mudd):
+        disk = DiskConeCache(cache_dir)
+        cache = ModelConeCache(disk=disk)
+        cone = cache.get(mudd)
+        key = _key(mudd)
+        with open(disk._path(key), "wb") as handle:
+            pickle.dump(["not", "a", "payload", "dict"], handle)
+        fresh = ModelConeCache(disk=DiskConeCache(cache_dir))
+        assert fresh.get(mudd).counters == cone.counters
+        assert fresh.builds == 1
+
+    def test_write_back_survives_live_scipy_state(self, cache_dir, mudd):
+        """Exercising the scipy membership/flow paths builds nested
+        HiGHS handles; the deduced-constraint write-back must still
+        pickle (the handles are dropped and lazily rebuilt)."""
+        cache = ModelConeCache(disk=cache_dir)
+        cone = cache.get(mudd)
+        point = dict(zip(cone.counters, cone.signatures[0]))
+        cone.contains(point, backend="scipy")   # geometry Cone solver state
+        cone.flow_model()                       # ModelCone solver state
+        cone.constraints()
+        cache.get(mudd)                         # write-back: must not raise
+
+        fresh = ModelConeCache(disk=cache_dir)
+        assert fresh.get(mudd).has_deduced_constraints()
+        assert fresh.builds == 0
+
+    def test_disk_hit_then_deduction_is_written_back(self, cache_dir, mudd):
+        """A cone loaded undeduced from disk, deduced later in this
+        process, must be republished — later processes skip deduction."""
+        ModelConeCache(disk=cache_dir).get(mudd)  # publishes undeduced
+
+        second = ModelConeCache(disk=cache_dir)
+        cone = second.get(mudd)            # disk hit, still undeduced
+        assert not cone.has_deduced_constraints()
+        cone.constraints()                 # deduction happens here
+        second.get(mudd)                   # next touch writes it back
+
+        third = ModelConeCache(disk=cache_dir)
+        assert third.get(mudd).has_deduced_constraints()
+        assert third.builds == 0
+
+    def test_stale_temp_files_are_swept(self, cache_dir, mudd):
+        """Temp files orphaned by a writer killed mid-put are reclaimed
+        by prune() once old, and unconditionally by clear()."""
+        disk = DiskConeCache(cache_dir)
+        ModelConeCache(disk=disk).get(mudd)
+        orphan = os.path.join(cache_dir, "deadwriter.tmp")
+        with open(orphan, "wb") as handle:
+            handle.write(b"x" * 64)
+        old = os.path.getmtime(orphan) - 3600
+        os.utime(orphan, (old, old))
+
+        disk.prune()
+        assert not os.path.exists(orphan)
+
+        with open(orphan, "wb") as handle:
+            handle.write(b"x")
+        disk.clear()
+        assert not os.path.exists(orphan)
+        assert len(disk) == 0
+
+    def test_lru_byte_cap_evicts_oldest(self, cache_dir):
+        mudds = [as_mudd(name) for name in bundled_model_names()]
+        disk = DiskConeCache(cache_dir, max_bytes=1)  # everything over cap
+        cache = ModelConeCache(disk=disk)
+        for mudd in mudds:
+            cache.get(mudd)
+        # Each put prunes to the cap: at most the newest entry survives
+        # transiently, and eviction counters moved.
+        assert len(disk) <= 1
+        assert disk.evictions >= len(mudds) - 1
+
+    def test_unbounded_cache_keeps_everything(self, cache_dir):
+        mudds = [as_mudd(name) for name in bundled_model_names()]
+        disk = DiskConeCache(cache_dir, max_bytes=None)
+        cache = ModelConeCache(disk=disk)
+        for mudd in mudds:
+            cache.get(mudd)
+        assert len(disk) == len(mudds)
+        assert disk.total_bytes() > 0
+
+    def test_invalid_max_bytes(self, cache_dir):
+        with pytest.raises(AnalysisError):
+            DiskConeCache(cache_dir, max_bytes=0)
+
+    def test_shared_cache_one_instance_per_dir(self, cache_dir):
+        from repro.cone.cache import shared_cache
+
+        assert shared_cache(cache_dir) is shared_cache(cache_dir)
+        assert shared_cache(cache_dir).disk.cache_dir == os.path.abspath(cache_dir)
+
+
+_WARM_SCRIPT = """
+import sys
+from repro.cone.cache import ModelConeCache
+from repro.models.bundled import bundled_model_names
+from repro.sim import as_mudd
+
+cache = ModelConeCache(disk=sys.argv[1])
+for _ in range(int(sys.argv[2])):
+    for name in bundled_model_names():
+        cone = cache.get(as_mudd(name))
+        cone.constraints()
+        cache.get(as_mudd(name))  # publish deduced constraints
+print("builds=%d disk_hits=%d" % (cache.builds, cache.disk_hits))
+"""
+
+
+def _spawn_warmer(cache_dir, rounds=3):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-c", _WARM_SCRIPT, cache_dir, str(rounds)],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+class TestConcurrency:
+    @pytest.mark.slow
+    def test_two_processes_warming_never_corrupt(self, cache_dir):
+        """Two concurrent warmers race on every entry; afterwards every
+        entry must load cleanly in a third, fresh process-alike."""
+        first = _spawn_warmer(cache_dir)
+        second = _spawn_warmer(cache_dir)
+        out_first, err_first = first.communicate(timeout=300)
+        out_second, err_second = second.communicate(timeout=300)
+        assert first.returncode == 0, err_first
+        assert second.returncode == 0, err_second
+
+        verifier = ModelConeCache(disk=cache_dir)
+        for name in bundled_model_names():
+            cone = verifier.get(as_mudd(name))
+            assert cone.has_deduced_constraints()
+        assert verifier.builds == 0
+        assert verifier.disk_hits == len(bundled_model_names())
+
+    @pytest.mark.slow
+    def test_fresh_process_skips_deduction(self, cache_dir):
+        """The acceptance check: a warm directory means a brand-new
+        process serves every cone (constraints included) from disk."""
+        warmer = _spawn_warmer(cache_dir, rounds=1)
+        out, err = warmer.communicate(timeout=300)
+        assert warmer.returncode == 0, err
+
+        fresh = _spawn_warmer(cache_dir, rounds=1)
+        out, err = fresh.communicate(timeout=300)
+        assert fresh.returncode == 0, err
+        assert "builds=0" in out, out
+        assert "disk_hits=%d" % len(bundled_model_names()) in out, out

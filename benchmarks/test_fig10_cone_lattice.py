@@ -48,7 +48,11 @@ def test_fig10_cone_lattice(benchmark, m_cones):
         assert forward, "cone(%s) must be contained in cone(%s)" % (lower, upper)
     # Each feature addition strictly expands the cone (until m3 -> m4;
     # see below for why m4 adds nothing new geometrically).
-    strict = [(l, u) for l, u, f, b in inclusions if f and not b]
+    strict = [
+        (lower, upper)
+        for lower, upper, forward, backward in inclusions
+        if forward and not backward
+    ]
     assert ("m0", "m1") in strict
     assert ("m1", "m2") in strict
     assert ("m2", "m3") in strict

@@ -15,8 +15,6 @@ Two claims regenerated here:
   pairs of the noisy time series.
 """
 
-import numpy as np
-
 from repro.cone import identify_violations
 from repro.models import M_SERIES, build_model_cone
 from repro.stats import pearson_correlation_matrix

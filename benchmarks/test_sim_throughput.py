@@ -12,8 +12,6 @@ sweeps, so its two hot paths are benchmarked directly:
   simulations (and oracle-in-the-loop validation) can run.
 """
 
-import pytest
-
 from repro.models import M_SERIES
 from repro.models.bundled import load_bundled_model
 from repro.models.haswell import ALL_COUNTERS, build_haswell_mudd

@@ -37,11 +37,21 @@ merging_load_side --weight Merged=Yes:3 --analyze no_merging_load_side``
 (exit status 1 = the candidate was refuted by the simulated data).
 """
 
-from repro.pipeline import AnalysisReport, CounterPoint, ModelSweep
+from repro.pipeline import CounterPoint
 from repro.cone import DiskConeCache, ModelCone
 from repro.dsl import compile_dsl
 from repro.mudd import MuDD
 from repro.parallel import ParallelRunner
+from repro.results import (
+    AnalysisReport,
+    AnalysisSession,
+    ArtifactStore,
+    CompareResult,
+    ModelSweep,
+    RefutationMatrix,
+    result_from_dict,
+    result_from_json,
+)
 from repro.sim import (
     MMUOracle,
     MuDDExecutor,
@@ -52,10 +62,13 @@ from repro.sim import (
 )
 from repro.stats import ConfidenceRegion, PointRegion
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AnalysisReport",
+    "AnalysisSession",
+    "ArtifactStore",
+    "CompareResult",
     "ConfidenceRegion",
     "CounterPoint",
     "DiskConeCache",
@@ -67,9 +80,12 @@ __all__ = [
     "ParallelRunner",
     "PointRegion",
     "RandomOracle",
+    "RefutationMatrix",
     "batch_simulate",
     "closed_loop",
     "compile_dsl",
+    "result_from_dict",
+    "result_from_json",
     "simulate_observation",
     "__version__",
 ]

@@ -14,6 +14,13 @@ Commands
     Run the Table 3 m-series sweep on the simulated Haswell MMU.
 ``errata-check --counters a,b,... [--smt]``
     Pre-flight errata check for a measurement plan.
+``sweep <model.dsl> [--dataset standard|noisy | --simulate-from M]``
+    Evaluate one model against a whole dataset; print which
+    observations it fails to explain and the violated constraint per
+    failure.
+``compare <model.dsl> [<model.dsl> ...]``
+    Sweep a model family over one dataset and rank it (the Table 3
+    workflow).
 ``simulate <model.dsl | --bundled name> [--n-uops N] [--traces T]``
     Execute a µDD with the :mod:`repro.sim` engine and print synthetic
     counter totals. ``--weight Prop=Value:W`` biases branch choices,
@@ -25,11 +32,15 @@ Commands
         python -m repro simulate --bundled merging_load_side \\
             --weight Merged=Yes:3 --analyze no_merging_load_side
 
-Shared performance flags (``analyze``, ``simulate``, ``case-study``):
-``--cache-dir DIR`` serves model cones from the persistent on-disk
-cache (:mod:`repro.cone.diskcache`) — deduction runs once per model
-ever, shared across runs and processes; ``--workers N`` shards dataset
-sweeps across a process pool (:mod:`repro.parallel`).
+Shared performance flags (``analyze``, ``sweep``, ``compare``,
+``simulate``, ``case-study``): ``--cache-dir DIR`` persists model cones
+*and* feasibility verdicts on disk (:mod:`repro.cone.diskcache`,
+:mod:`repro.results.store`) — deduction and verdicts run once per
+content ever, shared across runs and processes; ``--workers N`` shards
+dataset sweeps across a process pool (:mod:`repro.parallel`). The
+analysis commands (``analyze``, ``sweep``, ``compare``, ``case-study``)
+accept ``--json`` to emit the stable :mod:`repro.results` schema
+instead of text.
 """
 
 import argparse
@@ -90,53 +101,75 @@ def cmd_analyze(arguments):
     mudd = _load_model(arguments.model)
     # Cone construction goes through the facade so --workers/--cache-dir
     # reach the pipeline (the disk cache serves the cone; the pool is
-    # available to any sharded work the pipeline grows).
-    counterpoint = CounterPoint(
+    # available to any sharded work the pipeline grows). The context
+    # manager reaps the pool on every exit path.
+    with CounterPoint(
         backend=arguments.backend,
         confidence=arguments.confidence,
         workers=arguments.workers,
         cache_dir=arguments.cache_dir or None,
-    )
-    cone = counterpoint.model_cone(mudd)
-    backend = arguments.backend
+    ) as counterpoint:
+        cone = counterpoint.model_cone(mudd)
+        backend = arguments.backend
 
-    if arguments.perf_csv:
-        from repro.counters.perf_io import read_perf_csv
+        if arguments.perf_csv:
+            from repro.counters.perf_io import read_perf_csv
 
-        samples = read_perf_csv(arguments.perf_csv, strict=False)
-        samples = samples.subset(
-            [name for name in samples.counters if name in cone.counters]
-        )
-        missing = [name for name in cone.counters if name not in samples.counters]
-        if missing:
-            print("error: CSV lacks model counters: %s" % ", ".join(missing))
-            return 2
-        region = samples.subset(cone.counters).confidence_region(
-            confidence=arguments.confidence,
-            correlated=not arguments.independent,
-        )
-        result = test_region_feasibility(cone, region, backend=backend)
-        observation = region
-    else:
-        observation = _parse_observation(arguments.observation)
-        result = test_point_feasibility(cone, observation, backend=backend)
+            samples = read_perf_csv(arguments.perf_csv, strict=False)
+            samples = samples.subset(
+                [name for name in samples.counters if name in cone.counters]
+            )
+            missing = [name for name in cone.counters if name not in samples.counters]
+            if missing:
+                print("error: CSV lacks model counters: %s" % ", ".join(missing))
+                return 2
+            region = samples.subset(cone.counters).confidence_region(
+                confidence=arguments.confidence,
+                correlated=not arguments.independent,
+            )
+            result = test_region_feasibility(cone, region, backend=backend)
+            observation = region
+        else:
+            observation = _parse_observation(arguments.observation)
+            result = test_point_feasibility(cone, observation, backend=backend)
 
-    if result.feasible:
-        print("FEASIBLE: the observation is consistent with the model.")
-        return 0
-    print("INFEASIBLE: the observation violates the model.")
-    certificate = separating_constraint(
-        cone,
-        observation if isinstance(observation, dict) else observation.center(),
-        backend=backend,
-    )
-    if certificate is not None:
-        print("certificate (one violated constraint): %s" % certificate.render())
-    if arguments.violations:
-        print("all violated constraints:")
-        for violation in identify_violations(cone, observation, backend=backend):
-            print("  " + violation.render())
-    return 1
+        certificate = None
+        violations = []
+        if not result.feasible:
+            certificate = separating_constraint(
+                cone,
+                observation if isinstance(observation, dict) else observation.center(),
+                backend=backend,
+            )
+            if arguments.violations:
+                violations = identify_violations(
+                    cone, observation, backend=backend
+                )
+
+        if arguments.json:
+            from repro.results import AnalysisReport
+
+            report = AnalysisReport(
+                cone.name,
+                result.feasible,
+                violations,
+                witness=result.witness,
+                certificate=certificate,
+            )
+            print(report.to_json(indent=2))
+            return 0 if result.feasible else 1
+
+        if result.feasible:
+            print("FEASIBLE: the observation is consistent with the model.")
+            return 0
+        print("INFEASIBLE: the observation violates the model.")
+        if certificate is not None:
+            print("certificate (one violated constraint): %s" % certificate.render())
+        if arguments.violations:
+            print("all violated constraints:")
+            for violation in violations:
+                print("  " + violation.render())
+        return 1
 
 
 def cmd_render(arguments):
@@ -155,21 +188,163 @@ def cmd_case_study(arguments):
     from repro.models import M_SERIES, build_model_cone, standard_dataset
     from repro.pipeline import CounterPoint
 
+    from repro.results import CompareResult
+
     observations = standard_dataset(scale=arguments.scale)
-    counterpoint = CounterPoint(
+    names = sorted(M_SERIES, key=lambda n: int(n[1:]))
+    with CounterPoint(
         backend="scipy",
         workers=arguments.workers,
         cache_dir=arguments.cache_dir or None,
-    )
+    ) as counterpoint:
+        sweeps = {}
+        for name in names:
+            sweep = counterpoint.sweep(
+                build_model_cone(M_SERIES[name], name=name),
+                observations,
+                explain=arguments.json,
+            )
+            # The process-wide cone memo keys by feature set only, so a
+            # cone built earlier in this process may carry another
+            # name; key the comparison by the m-series name regardless.
+            sweep.model_name = name
+            sweeps[name] = sweep
+        comparison = CompareResult(sweeps)
+    if arguments.json:
+        print(comparison.to_json(indent=2))
+        return 0
     print("%d observations" % len(observations))
     print("%-5s %-46s %s" % ("model", "features", "#infeasible"))
-    for name in sorted(M_SERIES, key=lambda n: int(n[1:])):
-        sweep = counterpoint.sweep(build_model_cone(M_SERIES[name]), observations)
+    for name in names:
+        sweep = comparison[name]
         star = "*" if sweep.feasible else " "
         print("%s%-4s %-46s %d" % (
             star, name, ",".join(sorted(M_SERIES[name])) or "(none)", sweep.n_infeasible,
         ))
     return 0
+
+
+def _sweep_model(arguments, value):
+    """A model argument for sweep/compare: DSL file, or bundled name."""
+    if getattr(arguments, "bundled", False):
+        from repro.sim import as_mudd
+
+        return as_mudd(value)
+    return _load_model(value)
+
+
+def _sweep_observations(arguments):
+    """The dataset a sweep/compare runs against."""
+    if getattr(arguments, "simulate_from", None):
+        from repro.sim import simulate_dataset
+
+        source = _sweep_model(arguments, arguments.simulate_from)
+        return simulate_dataset(
+            source,
+            arguments.n_observations,
+            n_uops=arguments.n_uops,
+            seed=arguments.seed,
+        )
+    if arguments.dataset == "noisy":
+        from repro.models.dataset import noisy_dataset
+
+        return noisy_dataset(scale=arguments.scale)
+    from repro.models.dataset import standard_dataset
+
+    return standard_dataset(scale=arguments.scale)
+
+
+def _sweep_pipeline(arguments):
+    from repro.pipeline import CounterPoint
+
+    return CounterPoint(
+        backend=arguments.backend,
+        confidence=arguments.confidence,
+        workers=arguments.workers,
+        cache_dir=arguments.cache_dir or None,
+    )
+
+
+def _project_observations(observations, cone):
+    """Restrict dataset observations to a cone's counter scope.
+
+    The bundled hardware datasets carry the full 26-counter Haswell
+    space; a DSL model usually covers a subset. Like ``analyze
+    --perf-csv``, the measurement is projected onto the model's
+    counters — a counter the model never mentions cannot refute it. A
+    counter the model *does* mention but the dataset lacks is an error.
+    """
+    from repro.models.dataset import Observation
+
+    first = observations[0]
+    missing = [name for name in cone.counters if name not in first.totals]
+    if missing:
+        raise ReproError(
+            "dataset lacks model counters: %s" % ", ".join(missing)
+        )
+    if all(name in cone.counters for name in first.totals):
+        return observations
+    return [
+        Observation(
+            observation.name,
+            observation.page_size,
+            {name: observation.totals[name] for name in cone.counters},
+            observation.samples.subset(cone.counters),
+            meta=observation.meta,
+        )
+        for observation in observations
+    ]
+
+
+def cmd_sweep(arguments):
+    observations = _sweep_observations(arguments)
+    with _sweep_pipeline(arguments) as counterpoint:
+        # Simulated datasets define the counter ordering; the bundled
+        # hardware datasets are projected onto the model's scope.
+        counters = getattr(observations[0].samples, "counters", None) \
+            if arguments.simulate_from else None
+        cone = counterpoint.model_cone(
+            _sweep_model(arguments, arguments.model), counters=counters
+        )
+        sweep = counterpoint.sweep(
+            cone,
+            _project_observations(observations, cone),
+            use_regions=arguments.use_regions,
+            correlated=not arguments.independent,
+            explain=True,
+        )
+    if arguments.json:
+        print(sweep.to_json(indent=2))
+    else:
+        print(sweep.summary())
+    return 0 if sweep.feasible else 1
+
+
+def cmd_compare(arguments):
+    observations = _sweep_observations(arguments)
+    with _sweep_pipeline(arguments) as counterpoint:
+        counters = getattr(observations[0].samples, "counters", None) \
+            if arguments.simulate_from else None
+        sweeps = []
+        for model in arguments.models:
+            cone = counterpoint.model_cone(
+                _sweep_model(arguments, model), counters=counters
+            )
+            sweeps.append(counterpoint.sweep(
+                cone,
+                _project_observations(observations, cone),
+                use_regions=arguments.use_regions,
+                correlated=not arguments.independent,
+                explain=True,
+            ))
+        from repro.results import CompareResult
+
+        comparison = CompareResult(sweeps)
+    if arguments.json:
+        print(comparison.to_json(indent=2))
+    else:
+        print(comparison.summary())
+    return 0 if comparison.feasible_models else 1
 
 
 def _parse_weights(items):
@@ -252,9 +427,12 @@ def cmd_simulate(arguments):
     if counters is None:
         counters = sorted(totals)
     cone = _model_cone(candidate, arguments, counters=counters)
-    report = CounterPoint(
-        backend=arguments.backend, workers=arguments.workers
-    ).analyze(cone, observation)
+    with CounterPoint(
+        backend=arguments.backend,
+        workers=arguments.workers,
+        cache_dir=arguments.cache_dir or None,
+    ) as counterpoint:
+        report = counterpoint.analyze(cone, observation)
     print(report.summary())
     return 0 if report.feasible else 1
 
@@ -345,6 +523,9 @@ def build_parser():
                          help="use the independent-counter baseline region")
     analyze.add_argument("--violations", action="store_true",
                          help="run full constraint deduction and list all violations")
+    analyze.add_argument("--json", action="store_true",
+                         help="emit the AnalysisReport result schema as JSON "
+                              "(exit status semantics unchanged)")
     _add_runtime_flags(
         analyze,
         "process-pool size for sharded sweeps (a single-observation "
@@ -377,10 +558,99 @@ def build_parser():
     )
     case_study.add_argument("--scale", type=float, default=1.0,
                             help="workload scale factor for the dataset")
+    case_study.add_argument("--json", action="store_true",
+                            help="emit the CompareResult schema as JSON (with "
+                                 "per-observation violated constraints)")
     _add_runtime_flags(
         case_study,
         "shard each model's dataset sweep across N worker processes")
     case_study.set_defaults(handler=cmd_case_study)
+
+    def add_sweep_dataset_flags(subparser):
+        """Dataset selection shared by ``sweep`` and ``compare``."""
+        subparser.add_argument(
+            "--dataset", choices=("standard", "noisy"), default="standard",
+            help="bundled simulated-hardware dataset to sweep over")
+        subparser.add_argument(
+            "--scale", type=float, default=1.0,
+            help="workload scale factor for the bundled datasets")
+        subparser.add_argument(
+            "--simulate-from", metavar="MODEL", default=None,
+            help="sweep over a dataset simulated from this model instead "
+                 "(DSL file, or bundled name with --bundled)")
+        subparser.add_argument(
+            "--n-observations", type=int, default=4,
+            help="simulated dataset size for --simulate-from")
+        subparser.add_argument(
+            "--n-uops", type=int, default=20000,
+            help="µops per simulated observation for --simulate-from")
+        subparser.add_argument("--seed", type=int, default=0,
+                               help="base seed for --simulate-from")
+        subparser.add_argument(
+            "--bundled", action="store_true",
+            help="treat model arguments as bundled-model names")
+        subparser.add_argument(
+            "--backend", default="scipy", choices=("exact", "scipy"),
+            help="LP backend (scipy/HiGHS is the fast sweep default)")
+        subparser.add_argument(
+            "--confidence", type=float, default=0.99,
+            help="confidence level for --use-regions")
+        subparser.add_argument(
+            "--use-regions", action="store_true",
+            help="test confidence regions instead of exact totals")
+        subparser.add_argument(
+            "--independent", action="store_true",
+            help="with --use-regions, use the independent-counter baseline")
+        subparser.add_argument(
+            "--json", action="store_true",
+            help="emit the result schema as JSON")
+
+    sweep = commands.add_parser(
+        "sweep",
+        help="evaluate one model against a dataset",
+        description="Evaluate one µDD model against a whole dataset of "
+                    "observations and report which observations it fails "
+                    "to explain — with the violated model constraint per "
+                    "failure. Verdicts are memoized on disk with "
+                    "--cache-dir, so re-sweeping a grown dataset only "
+                    "tests the new observations. Exit status: 0 the model "
+                    "explains everything, 1 it was refuted, 2 usage error.",
+        epilog="examples:\n"
+               "  python -m repro sweep model.dsl --scale 0.3\n"
+               "  python -m repro sweep --bundled pde_refined "
+               "--simulate-from pde_initial --json\n"
+               "  python -m repro sweep model.dsl --workers 4 "
+               "--cache-dir .repro-cache",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sweep.add_argument("model", help="DSL model file (or bundled name with --bundled)")
+    add_sweep_dataset_flags(sweep)
+    _add_runtime_flags(
+        sweep, "shard the dataset sweep across N worker processes")
+    sweep.set_defaults(handler=cmd_sweep)
+
+    compare = commands.add_parser(
+        "compare",
+        help="rank a model family over a dataset",
+        description="Sweep several candidate models over one dataset and "
+                    "rank them by how many observations each fails to "
+                    "explain (the paper's Table 3 workflow). Exit status: "
+                    "0 when at least one model explains the whole "
+                    "dataset, 1 when every model is refuted.",
+        epilog="examples:\n"
+               "  python -m repro compare a.dsl b.dsl --scale 0.3\n"
+               "  python -m repro compare --bundled pde_initial pde_refined "
+               "--simulate-from pde_refined --json\n"
+               "  python -m repro compare a.dsl b.dsl --workers 4 "
+               "--cache-dir .repro-cache",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    compare.add_argument("models", nargs="+",
+                         help="DSL model files (or bundled names with --bundled)")
+    add_sweep_dataset_flags(compare)
+    _add_runtime_flags(
+        compare, "shard each model's sweep across N worker processes")
+    compare.set_defaults(handler=cmd_compare)
 
     simulate = commands.add_parser(
         "simulate",

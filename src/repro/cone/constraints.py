@@ -81,6 +81,22 @@ class ModelConstraint:
     def render(self):
         return self.cone_constraint.render(self.counters)
 
+    # -- serialisation (repro.results schema) ---------------------------
+    def to_dict(self):
+        """Stable JSON record: exact integer normal, kind, counters."""
+        return {
+            "normal": [int(value) for value in self.cone_constraint.normal],
+            "kind": "eq" if self.is_equality else "ge",
+            "counters": list(self.counters),
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        from repro.geometry.halfspace import ConeConstraint
+
+        kind = EQUALITY if data["kind"] == "eq" else INEQUALITY
+        return cls(ConeConstraint(data["normal"], kind), data["counters"])
+
     def __eq__(self, other):
         if not isinstance(other, ModelConstraint):
             return NotImplemented

@@ -45,6 +45,38 @@ class Violation:
         tag = "definite" if self.definite else "at-mean"
         return "[%s] %s (margin %s)" % (tag, self.constraint.render(), self.margin)
 
+    # -- serialisation (repro.results schema) ---------------------------
+    def to_dict(self):
+        """Stable JSON record: the constraint, the margin (exactness
+        tier preserved), and whether the violation is definite."""
+        from repro.results.base import encode_number
+
+        return {
+            "constraint": self.constraint.to_dict(),
+            "margin": encode_number(self.margin),
+            "definite": bool(self.definite),
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        from repro.cone.constraints import ModelConstraint
+        from repro.results.base import decode_number
+
+        return cls(
+            ModelConstraint.from_dict(data["constraint"]),
+            decode_number(data["margin"]),
+            bool(data["definite"]),
+        )
+
+    def __eq__(self, other):
+        if not isinstance(other, Violation):
+            return NotImplemented
+        return (
+            self.constraint == other.constraint
+            and self.margin == other.margin
+            and self.definite == other.definite
+        )
+
     def __repr__(self):
         return "Violation(%s)" % (self.render(),)
 

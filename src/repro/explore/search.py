@@ -11,12 +11,19 @@ distinct violation family).
 
 from repro.errors import AnalysisError
 from repro.cone import test_point_feasibility
+from repro.results.base import ResultBase, register
 
 
-class ModelEvaluation:
-    """Feasibility of one feature set against the dataset."""
+@register
+class ModelEvaluation(ResultBase):
+    """Feasibility of one feature set against the dataset.
 
-    __slots__ = ("features", "infeasible", "n_observations")
+    Serializes through the shared :mod:`repro.results` contract, so
+    search artefacts (the Figure 10 graph's nodes) can be stored and
+    compared across runs.
+    """
+
+    kind = "model_evaluation"
 
     def __init__(self, features, infeasible, n_observations):
         self.features = frozenset(features)
@@ -31,6 +38,19 @@ class ModelEvaluation:
     def feasible(self):
         return not self.infeasible
 
+    def _payload(self):
+        return {
+            "features": sorted(self.features),
+            "infeasible": list(self.infeasible),
+            "n_observations": self.n_observations,
+        }
+
+    @classmethod
+    def _from_payload(cls, payload):
+        return cls(
+            payload["features"], payload["infeasible"], payload["n_observations"]
+        )
+
     def __repr__(self):
         return "ModelEvaluation({%s}: %d/%d infeasible)" % (
             ",".join(sorted(self.features)),
@@ -39,7 +59,8 @@ class ModelEvaluation:
         )
 
 
-class SearchResult:
+@register
+class SearchResult(ResultBase):
     """Everything the search learned.
 
     Attributes
@@ -55,6 +76,8 @@ class SearchResult:
         Feasible feature sets none of whose evaluated children (one
         feature removed) are feasible.
     """
+
+    kind = "search_result"
 
     def __init__(self, evaluations, discovery_trail, candidate):
         self.evaluations = dict(evaluations)
@@ -79,6 +102,32 @@ class SearchResult:
             if not children_feasible:
                 minimal.append(features)
         return minimal
+
+    def _payload(self):
+        evaluations = [
+            self.evaluations[features].to_dict()
+            for features in sorted(self.evaluations, key=sorted)
+        ]
+        return {
+            "evaluations": evaluations,
+            "discovery_trail": [sorted(features) for features in self.discovery_trail],
+            "candidate": (
+                None if self.candidate is None else sorted(self.candidate)
+            ),
+        }
+
+    @classmethod
+    def _from_payload(cls, payload):
+        evaluations = {}
+        for entry in payload["evaluations"]:
+            evaluation = ModelEvaluation.from_dict(entry)
+            evaluations[evaluation.features] = evaluation
+        return cls(
+            evaluations,
+            [frozenset(features) for features in payload["discovery_trail"]],
+            None if payload["candidate"] is None
+            else frozenset(payload["candidate"]),
+        )
 
     def __repr__(self):
         return "SearchResult(%d models, %d feasible)" % (

@@ -53,6 +53,27 @@ class Observation:
             confidence=confidence, correlated=correlated
         )
 
+    def fingerprint(self, samples=False):
+        """Content hash of the observation's measured data.
+
+        ``samples=False`` (the point-analysis view) hashes the exact
+        counter totals; ``samples=True`` (the region-analysis view)
+        hashes the full interval sample matrix, since region verdicts
+        depend on every sample. The observation's *name* and metadata
+        are excluded — verdicts are content-addressed, so re-measuring
+        identical data under a new run name still hits the memo
+        (:class:`repro.results.session.AnalysisSession`).
+        """
+        if samples:
+            from repro.results.fingerprint import sample_matrix_fingerprint
+
+            return sample_matrix_fingerprint(self.samples)
+        # Delegate to the shared dict hash so an Observation and its
+        # bare .point() mapping produce the same content key.
+        from repro.results.fingerprint import observation_fingerprint
+
+        return observation_fingerprint(self.point())
+
     def __repr__(self):
         return "Observation(%r, %s)" % (self.name, self.page_size)
 

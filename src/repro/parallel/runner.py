@@ -111,6 +111,13 @@ class ParallelRunner:
             self._executor.shutdown()
             self._executor = None
 
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        self.close()
+        return False
+
     def __del__(self):  # pragma: no cover - GC timing dependent
         try:
             self.close()

@@ -3,17 +3,24 @@
 Every worker here is a module-level function of one picklable payload
 dict — the shape :class:`repro.parallel.runner.ParallelRunner` requires
 for the pooled path. Payloads carry *models and parameters*, not live
-solver state: each worker rebuilds its own :class:`CounterPoint` (with
-``workers=1`` — workers never nest pools) and, when a ``cache_dir`` is
-present, coordinates through the shared on-disk cone cache so expensive
-deduction happens in exactly one process.
+solver state: workers that need a pipeline rebuild their own
+:class:`CounterPoint` with ``workers=1`` (workers never nest pools).
+Worker results come back as :mod:`repro.results` schema dicts, not
+pickled ad-hoc objects: the wire format between pool processes is the
+same stable JSON-serializable schema the result layer persists and
+renders.
+Workers that build model cones coordinate through the shared on-disk
+cone cache (``cache_dir``) so expensive deduction happens in exactly
+one process, and workers that test feasibility coordinate through the
+session artifact store under the same directory so memoized verdicts
+are never recomputed anywhere.
 
 The high-level functions (:func:`parallel_sweep`,
 :func:`parallel_cross_refute`, :func:`parallel_simulate_dataset`,
 :func:`parallel_closed_loop`) are what :class:`repro.pipeline.
-CounterPoint` and :func:`repro.sim.scenarios.closed_loop` route to when
-``workers > 1``; each is bit-for-bit equivalent to its serial
-counterpart (same seeds, same ordering, same verdicts).
+CounterPoint`'s session and :func:`repro.sim.scenarios.closed_loop`
+route to when ``workers > 1``; each is bit-for-bit equivalent to its
+serial counterpart (same seeds, same ordering, same verdicts).
 """
 
 from repro.parallel.runner import split_seeds
@@ -33,58 +40,87 @@ def _chunks(items, n_chunks):
     return out
 
 
-# -- sweep -----------------------------------------------------------------
+# -- verdict cells (sweep and session sharding) ----------------------------
 
-def run_sweep_chunk(payload):
-    """Worker: sweep one observation chunk against a shipped cone.
+def run_verdict_chunk(payload):
+    """Worker: feasibility verdicts for one target chunk against a
+    shipped cone, returned as ``CellVerdict`` schema dicts.
 
-    Returns the chunk's infeasible observation names in dataset order,
-    so concatenating chunk results reproduces the serial name list.
+    Runs the exact function the serial path runs
+    (:func:`repro.results.session.compute_cell_verdicts`), so chunk
+    boundaries cannot change verdicts; point chunks keep the batched
+    facet screen intact.
     """
-    from repro.pipeline import CounterPoint
+    from repro.results.session import compute_cell_verdicts
 
-    counterpoint = CounterPoint(
-        backend=payload["backend"],
-        confidence=payload["confidence"],
-        cache=False,
-    )
-    sweep = counterpoint.sweep(
+    verdicts = compute_cell_verdicts(
         payload["cone"],
-        payload["observations"],
+        payload["targets"],
+        backend=payload["backend"],
         use_regions=payload["use_regions"],
-        correlated=payload["correlated"],
+        explain=payload["explain"],
     )
-    return sweep.infeasible_names
+    return [verdict.to_dict() for verdict in verdicts]
 
 
-def parallel_sweep(runner, cone, observations, backend="exact",
-                   confidence=0.99, use_regions=False, correlated=True):
-    """Shard one model's dataset sweep across the pool.
+def dispatch_verdicts(runner, cone, targets, backend="exact",
+                      use_regions=False, explain=False):
+    """Shard verdict computation for ``targets`` across the pool.
 
     The cone is built once by the caller and shipped to every worker
-    (cones pickle without their process-local solver state); each
-    worker runs the normal batched feasibility path on a contiguous
-    observation chunk. One chunk per worker keeps the exact facet
-    screen's batching intact.
+    (cones pickle without their process-local solver state). Returns
+    :class:`~repro.results.types.CellVerdict` objects in target order —
+    the session's unit of memoization, reconstructed from the schema
+    dicts the workers ship back.
     """
-    from repro.pipeline import ModelSweep
+    from repro.results.types import CellVerdict
 
-    observations = list(observations)
+    targets = list(targets)
     cells = [
         {
             "cone": cone,
-            "observations": chunk,
+            "targets": chunk,
             "backend": backend,
-            "confidence": confidence,
             "use_regions": use_regions,
-            "correlated": correlated,
+            "explain": explain,
         }
-        for chunk in _chunks(observations, runner.workers)
+        for chunk in _chunks(targets, runner.workers)
     ]
-    infeasible = []
-    for names in runner.map_cells(run_sweep_chunk, cells, chunk_size=1):
-        infeasible.extend(names)
-    return ModelSweep(cone.name, infeasible, len(observations))
+    verdicts = []
+    for chunk in runner.map_cells(run_verdict_chunk, cells, chunk_size=1):
+        verdicts.extend(CellVerdict.from_dict(entry) for entry in chunk)
+    return verdicts
+
+
+# -- sweep -----------------------------------------------------------------
+
+def parallel_sweep(runner, cone, observations, backend="exact",
+                   confidence=0.99, use_regions=False, correlated=True,
+                   explain=False):
+    """Shard one model's dataset sweep across the pool.
+
+    The direct (session-less) entry point: every observation is turned
+    into its solvable target in the parent — points keep exact totals,
+    regions are summarised once at ``confidence`` — and the verdict
+    cells shard across the workers. One chunk per worker keeps the
+    exact facet screen's batching intact.
+    """
+    from repro.results.types import sweep_from_verdicts
+
+    observations = list(observations)
+    names = [observation.name for observation in observations]
+    if use_regions:
+        targets = [
+            observation.region(confidence=confidence, correlated=correlated)
+            for observation in observations
+        ]
+    else:
+        targets = [observation.point() for observation in observations]
+    verdicts = dispatch_verdicts(
+        runner, cone, targets, backend=backend, use_regions=use_regions,
+        explain=explain,
+    )
+    return sweep_from_verdicts(cone.name, names, verdicts)
 
 
 # -- cross_refute ----------------------------------------------------------
@@ -92,7 +128,8 @@ def parallel_sweep(runner, cone, observations, backend="exact",
 def run_cross_refute_row(payload):
     """Worker: one (row, candidate-subset) cell of the closed-loop
     matrix — simulate the row's observed model, sweep the cell's
-    candidates against the dataset.
+    candidates against the dataset. Sweeps come back as ``ModelSweep``
+    schema dicts.
 
     The row seed is the serial schedule's ``seed + 1000 * row``, so the
     simulated observations are identical to a serial run's regardless
@@ -112,30 +149,38 @@ def run_cross_refute_row(payload):
         seed=payload["row_seed"],
     )
     counters = observations[0].samples.counters
-    counterpoint = CounterPoint(
+    # workers=1: pool workers never nest pools.
+    with CounterPoint(
         backend=payload["backend"],
         confidence=payload["confidence"],
         cache_dir=payload["cache_dir"],
-    )
-    sweeps = {}
-    for candidate in payload["candidates"]:
-        cone = counterpoint.model_cone(candidate, counters=counters)
-        sweeps[candidate.name] = counterpoint.sweep(cone, observations)
+        workers=1,
+    ) as counterpoint:
+        sweeps = {}
+        for candidate in payload["candidates"]:
+            cone = counterpoint.model_cone(candidate, counters=counters)
+            sweep = counterpoint.sweep(
+                cone, observations, explain=payload["explain"]
+            )
+            sweeps[candidate.name] = sweep.to_dict()
     return observed.name, sweeps
 
 
 def parallel_cross_refute(runner, mudds, n_observations=3, n_uops=20000,
                           weights=None, seed=0, backend="exact",
-                          confidence=0.99):
+                          confidence=0.99, explain=False):
     """Shard the cross-refutation matrix across the pool.
 
     The base unit is a row (observed model): rows are fully
-    independent, and candidate cones are shared between rows through
-    the runner's ``cache_dir`` when set. When the matrix has fewer
-    rows than would keep the pool busy (``rows < 2 * workers``), each
-    row's candidate list is additionally split so every worker gets
-    work — the merged result is identical either way.
+    independent, and candidate cones *and memoized verdicts* are shared
+    between rows through the runner's ``cache_dir`` when set. When the
+    matrix has fewer rows than would keep the pool busy (``rows < 2 *
+    workers``), each row's candidate list is additionally split so
+    every worker gets work — the merged result is identical either way.
+    Returns a :class:`~repro.results.types.RefutationMatrix`.
     """
+    from repro.results.types import ModelSweep, RefutationMatrix
+
     mudds = list(mudds)
     row_seeds = split_seeds(seed, len(mudds), stride=1000)
     # ceil(2*workers / rows) candidate chunks per row keeps ~2 cells
@@ -153,14 +198,26 @@ def parallel_cross_refute(runner, mudds, n_observations=3, n_uops=20000,
             "backend": backend,
             "confidence": confidence,
             "cache_dir": runner.cache_dir,
+            "explain": explain,
         }
         for observed, row_seed in zip(mudds, row_seeds)
         for chunk in candidate_chunks
     ]
-    matrix = {}
+    rows = {}
     for name, sweeps in runner.map_cells(run_cross_refute_row, cells, chunk_size=1):
-        matrix.setdefault(name, {}).update(sweeps)
-    return matrix
+        rows.setdefault(name, {}).update({
+            candidate: ModelSweep.from_dict(entry)
+            for candidate, entry in sweeps.items()
+        })
+    # Rebuild candidate order (schema order is the model order).
+    ordered = {
+        observed.name: {
+            candidate.name: rows[observed.name][candidate.name]
+            for candidate in mudds
+        }
+        for observed in mudds
+    }
+    return RefutationMatrix(ordered)
 
 
 # -- simulated datasets ----------------------------------------------------
@@ -218,19 +275,22 @@ def parallel_simulate_dataset(runner, model, n_observations, n_uops=20000,
 
 def run_closed_loop_candidate(payload):
     """Worker: analyse the shared simulated target against one
-    candidate model (cone served from the disk cache when present)."""
+    candidate model (cone served from the disk cache when present);
+    ships the report back as an ``AnalysisReport`` schema dict."""
     from repro.pipeline import CounterPoint
     from repro.sim.scenarios import as_mudd
 
-    counterpoint = CounterPoint(
+    with CounterPoint(
         backend=payload["backend"],
         confidence=payload["confidence"],
         cache_dir=payload["cache_dir"],
-    )
-    cone = counterpoint.model_cone(
-        as_mudd(payload["candidate"]), counters=payload["counters"]
-    )
-    return counterpoint.analyze(cone, payload["target"])
+        workers=1,
+    ) as counterpoint:
+        cone = counterpoint.model_cone(
+            as_mudd(payload["candidate"]), counters=payload["counters"]
+        )
+        report = counterpoint.analyze(cone, payload["target"])
+    return report.to_dict()
 
 
 def parallel_closed_loop(runner, observation, candidate_models,
@@ -242,6 +302,8 @@ def parallel_closed_loop(runner, observation, candidate_models,
     it against one candidate. Returns ``{candidate_name:
     AnalysisReport}`` in candidate order, like the serial loop.
     """
+    from repro.results.types import AnalysisReport
+
     counters = observation.samples.counters
     target = (
         observation.region(confidence=confidence)
@@ -260,7 +322,8 @@ def parallel_closed_loop(runner, observation, candidate_models,
         for candidate in candidate_models
     ]
     reports = {}
-    for report in runner.map_cells(run_closed_loop_candidate, cells):
+    for entry in runner.map_cells(run_closed_loop_candidate, cells):
+        report = AnalysisReport.from_dict(entry)
         reports[report.model_name] = report
     return reports
 
@@ -284,6 +347,7 @@ def run_feature_evaluation(payload):
 
 
 __all__ = [
+    "dispatch_verdicts",
     "parallel_closed_loop",
     "parallel_cross_refute",
     "parallel_simulate_dataset",
@@ -292,5 +356,5 @@ __all__ = [
     "run_cross_refute_row",
     "run_feature_evaluation",
     "run_simulate_chunk",
-    "run_sweep_chunk",
+    "run_verdict_chunk",
 ]

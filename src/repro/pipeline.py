@@ -12,71 +12,22 @@ same shape the analysis methods consume, and
 each model, sweep every model against each synthetic dataset — whose
 diagonal should be all-feasible and whose off-diagonal entries expose
 which mechanism hypotheses the data can distinguish.
+
+Analysis methods return the typed, JSON-serializable result objects of
+:mod:`repro.results` and route through the pipeline's
+:class:`~repro.results.session.AnalysisSession`, which memoizes each
+feasibility verdict by content — so re-analyzing a grown dataset or
+model family only tests the new cells (see ``session()``).
 """
 
-from repro.cone import (
-    ModelCone,
-    ModelConeCache,
-    identify_violations,
-    test_points_feasibility,
-    test_region_feasibility,
-)
+from repro.cone import ModelCone, ModelConeCache
 from repro.dsl import compile_dsl
 from repro.errors import AnalysisError
 from repro.mudd import MuDD
 
-
-class AnalysisReport:
-    """Outcome of analysing one observation against one model."""
-
-    def __init__(self, model_name, feasible, violations, witness=None):
-        self.model_name = model_name
-        self.feasible = feasible
-        self.violations = violations
-        self.witness = witness
-
-    def summary(self):
-        """One-paragraph human rendering: the verdict, and for an
-        infeasible observation every violated model constraint."""
-        if self.feasible:
-            return "%s: feasible" % (self.model_name,)
-        lines = ["%s: INFEASIBLE (%d violated constraints)" % (
-            self.model_name,
-            len(self.violations),
-        )]
-        for violation in self.violations:
-            lines.append("  " + violation.render())
-        return "\n".join(lines)
-
-    def __repr__(self):
-        return "AnalysisReport(%r, feasible=%r)" % (self.model_name, self.feasible)
-
-
-class ModelSweep:
-    """Outcome of evaluating one model against many observations."""
-
-    def __init__(self, model_name, infeasible_names, n_observations):
-        self.model_name = model_name
-        self.infeasible_names = list(infeasible_names)
-        self.n_observations = n_observations
-
-    @property
-    def n_infeasible(self):
-        """How many observations the model failed to explain."""
-        return len(self.infeasible_names)
-
-    @property
-    def feasible(self):
-        """Whether the model explains *every* observation — one
-        infeasible observation refutes a model (the paper's bar)."""
-        return not self.infeasible_names
-
-    def __repr__(self):
-        return "ModelSweep(%r: %d/%d infeasible)" % (
-            self.model_name,
-            self.n_infeasible,
-            self.n_observations,
-        )
+# Result types historically lived here; the canonical home is now
+# repro.results, re-exported for compatibility.
+from repro.results.types import AnalysisReport, ModelSweep  # noqa: F401
 
 
 class CounterPoint:
@@ -107,13 +58,18 @@ class CounterPoint:
         — same seeds, same ordering, same verdicts (see
         :mod:`repro.parallel`).
     cache_dir:
-        Directory for the persistent on-disk cone-cache tier
-        (:mod:`repro.cone.diskcache`). Cones — including their deduced
-        constraints — then survive the process and are shared between
-        pool workers and across runs, so each model is deduced once
-        *ever*. Requires the default ``cache=True`` (to combine a
-        custom cache with a disk tier, pass
+        Directory for the persistent tiers: the on-disk cone cache
+        (:mod:`repro.cone.diskcache`; cones and their deduced
+        constraints computed once per model *ever*) and the session's
+        verdict artifact store (``<cache_dir>/artifacts`` — see
+        :mod:`repro.results.store`), both shared between pool workers
+        and across runs. Requires the default ``cache=True`` (to
+        combine a custom cache with a disk tier, pass
         ``cache=ModelConeCache(disk=cache_dir)`` instead).
+
+    The pipeline owns a lazily-built process pool; call :meth:`close`
+    (or use the pipeline as a context manager) to shut workers down
+    deterministically instead of waiting for garbage collection.
     """
 
     def __init__(self, counters=None, backend="exact", confidence=0.99,
@@ -144,6 +100,7 @@ class CounterPoint:
             raise AnalysisError("workers must be at least 1, got %r" % (workers,))
         self.workers = workers
         self._runner = None
+        self._session = None
 
     def runner(self):
         """The pipeline's :class:`~repro.parallel.ParallelRunner`
@@ -155,6 +112,43 @@ class CounterPoint:
                 workers=self.workers, cache_dir=self.cache_dir
             )
         return self._runner
+
+    def session(self):
+        """The pipeline's :class:`~repro.results.session.AnalysisSession`.
+
+        Built lazily and shared by every analysis call on this
+        pipeline, so verdicts memoize across calls. With ``cache_dir``
+        the session persists verdicts to
+        ``<cache_dir>/artifacts`` — a later process re-testing the same
+        cells does no LP work at all.
+        """
+        if self._session is None:
+            import os
+
+            from repro.results.session import AnalysisSession
+
+            store = None
+            if self.cache_dir is not None:
+                store = os.path.join(self.cache_dir, "artifacts")
+            self._session = AnalysisSession(pipeline=self, store=store)
+        return self._session
+
+    def close(self):
+        """Shut down the lazily-built process pool (idempotent).
+
+        The session memo survives; only pool workers are reaped. A
+        later sharded call transparently builds a fresh pool.
+        """
+        if self._runner is not None:
+            self._runner.close()
+            self._runner = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        self.close()
+        return False
 
     def _parallel(self):
         """Whether sharded workloads should route to the pool."""
@@ -182,27 +176,21 @@ class CounterPoint:
         raise AnalysisError("cannot interpret %r as a model" % (type(model).__name__,))
 
     # -- single-observation analysis ---------------------------------------
-    def analyze(self, model, observation):
+    def analyze(self, model, observation, explain=False):
         """Test one observation (point or region) against one model.
 
-        Returns an :class:`AnalysisReport`; when infeasible, the report
-        carries the violated model constraints (the expensive constraint
-        deduction runs only in that case, mirroring the paper).
+        Returns an :class:`~repro.results.AnalysisReport`; when
+        infeasible, the report carries the violated model constraints
+        (the expensive constraint deduction runs only in that case,
+        mirroring the paper) and — with ``explain`` — a Farkas
+        certificate found at feasibility-test cost. Reports are
+        memoized by the pipeline's session.
         """
-        cone = self.model_cone(model)
-        if hasattr(observation, "box_constraints"):
-            result = test_region_feasibility(cone, observation, backend=self.backend)
-        else:
-            result = test_points_feasibility(
-                cone, [observation], backend=self.backend
-            )[0]
-        violations = []
-        if not result.feasible:
-            violations = identify_violations(cone, observation, backend=self.backend)
-        return AnalysisReport(cone.name, result.feasible, violations, witness=result.witness)
+        return self.session().analyze(model, observation, explain=explain)
 
     # -- dataset sweeps -------------------------------------------------------
-    def sweep(self, model, observations, use_regions=False, correlated=True):
+    def sweep(self, model, observations, use_regions=False, correlated=True,
+              explain=False):
         """Evaluate a model against a dataset of observations.
 
         Parameters
@@ -220,46 +208,26 @@ class CounterPoint:
             With ``use_regions``, whether regions model cross-counter
             covariance (the paper's Section 4 estimator) or the
             independent-counter baseline.
+        explain:
+            Guarantee refutation evidence (one violated model
+            constraint) for every infeasible observation, via the
+            Farkas certificate LP when the free facet-screen
+            certificate is unavailable.
 
-        Returns a :class:`ModelSweep` naming the infeasible
-        observations in dataset order. With ``workers > 1`` the dataset
-        is sharded across the process pool (identical results).
+        Returns a :class:`~repro.results.ModelSweep` naming the
+        infeasible observations in dataset order, with per-observation
+        refutation evidence in ``why``. Verdicts are memoized by
+        content: re-sweeping a grown dataset only tests the new
+        observations. With ``workers > 1`` the pending cells are
+        sharded across the process pool (identical results).
         """
-        cone = self.model_cone(model)
-        observations = list(observations)
-        if self._parallel() and len(observations) > 1:
-            from repro.parallel import parallel_sweep
-
-            return parallel_sweep(
-                self.runner(),
-                cone,
-                observations,
-                backend=self.backend,
-                confidence=self.confidence,
-                use_regions=use_regions,
-                correlated=correlated,
-            )
-        infeasible = []
-        if use_regions:
-            for observation in observations:
-                region = observation.region(
-                    confidence=self.confidence, correlated=correlated
-                )
-                result = test_region_feasibility(cone, region, backend=self.backend)
-                if not result.feasible:
-                    infeasible.append(observation.name)
-        else:
-            results = test_points_feasibility(
-                cone,
-                [observation.point() for observation in observations],
-                backend=self.backend,
-            )
-            infeasible = [
-                observation.name
-                for observation, result in zip(observations, results)
-                if not result.feasible
-            ]
-        return ModelSweep(cone.name, infeasible, len(observations))
+        return self.session().sweep(
+            model,
+            observations,
+            use_regions=use_regions,
+            correlated=correlated,
+            explain=explain,
+        )
 
     def compare(self, models, observations, **sweep_options):
         """Sweep several candidate models over one dataset.
@@ -267,14 +235,13 @@ class CounterPoint:
         The multi-model view of :meth:`sweep` — the workflow behind the
         paper's Table 3: rank a model family by how many observations
         each member fails to explain. Keyword options pass through to
-        :meth:`sweep`. Returns ``{model_name: ModelSweep}`` in model
-        order; each sweep shards across the pool when ``workers > 1``.
+        :meth:`sweep`. Returns a
+        :class:`~repro.results.CompareResult` mapping model names to
+        sweeps in model order; each sweep shards across the pool when
+        ``workers > 1``, and only cells not already memoized are
+        tested.
         """
-        results = {}
-        for model in models:
-            sweep = self.sweep(model, observations, **sweep_options)
-            results[sweep.model_name] = sweep
-        return results
+        return self.session().compare(models, observations, **sweep_options)
 
     # -- simulation (the closed loop) -----------------------------------------
     def simulate(self, model, n_uops=20000, **options):
@@ -312,51 +279,32 @@ class CounterPoint:
         return simulate_dataset(model, n_observations, n_uops=n_uops, **options)
 
     def cross_refute(
-        self, models, n_observations=3, n_uops=20000, weights=None, seed=0
+        self, models, n_observations=3, n_uops=20000, weights=None, seed=0,
+        explain=False,
     ):
         """The closed-loop matrix: simulate each model, sweep all models.
 
-        Returns ``{observed_name: {candidate_name: ModelSweep}}``. Every
+        Returns a :class:`~repro.results.RefutationMatrix` (a mapping
+        ``{observed_name: {candidate_name: ModelSweep}}``). Every
         diagonal entry is feasible by construction (counter
         conservation: simulated totals lie in the generating model's
         cone); an off-diagonal infeasible entry means the candidate's
         mechanisms cannot explain the observed model's behaviour.
 
-        Row ``r`` simulates from seed ``seed + 1000 * r``. With
+        Row ``r`` simulates from seed ``seed + 1000 * r``. Serial runs
+        memoize every cell in the pipeline's session, so re-refuting a
+        grown model family re-tests only the new row and column. With
         ``workers > 1`` the matrix shards by row across the process
-        pool — rows are independent — and with ``cache_dir`` set the
-        workers share candidate cones through the on-disk cache instead
-        of each deducing its own.
+        pool — rows are independent — and verdict memoization moves to
+        the workers: set ``cache_dir`` so they share candidate cones
+        *and* memoized verdicts through the on-disk tiers (without it,
+        a pooled re-run recomputes the full matrix).
         """
-        from repro.sim import as_mudd, simulate_dataset
-
-        mudds = [as_mudd(model) for model in models]
-        if self._parallel() and len(mudds) > 1:
-            from repro.parallel import parallel_cross_refute
-
-            return parallel_cross_refute(
-                self.runner(),
-                mudds,
-                n_observations=n_observations,
-                n_uops=n_uops,
-                weights=weights,
-                seed=seed,
-                backend=self.backend,
-                confidence=self.confidence,
-            )
-        matrix = {}
-        for row, observed in enumerate(mudds):
-            observations = simulate_dataset(
-                observed,
-                n_observations,
-                n_uops=n_uops,
-                weights=weights,
-                seed=seed + 1000 * row,
-            )
-            counters = observations[0].samples.counters
-            sweeps = {}
-            for candidate in mudds:
-                cone = self.model_cone(candidate, counters=counters)
-                sweeps[candidate.name] = self.sweep(cone, observations)
-            matrix[observed.name] = sweeps
-        return matrix
+        return self.session().cross_refute(
+            models,
+            n_observations=n_observations,
+            n_uops=n_uops,
+            weights=weights,
+            seed=seed,
+            explain=explain,
+        )

@@ -1,0 +1,189 @@
+"""Shared serialization machinery for the result layer.
+
+Numbers in CounterPoint results come in three exactness tiers — python
+ints (counter totals, constraint normals), :class:`fractions.Fraction`
+(exact LP verdict data), and floats (scipy/HiGHS witnesses, statistics).
+JSON has no rational type, so :func:`encode_number` maps Fractions to
+``"p/q"`` strings and everything integral to int; :func:`decode_number`
+inverts the mapping exactly. Round-tripping therefore preserves both
+value *and* exactness tier, which is what lets result equality be
+structural.
+
+:class:`ResultBase` implements the shared contract: ``to_dict()`` emits
+``{"kind": ..., "schema": RESULTS_SCHEMA_VERSION, ...payload...}``,
+``from_dict()`` validates the envelope and rebuilds, ``==`` compares
+schemas, and ``to_json``/``from_json`` are the one-call file forms.
+:func:`result_from_dict` dispatches on ``kind`` through the registry so
+heterogeneous artifacts (a directory of mixed results, a pool message)
+deserialize without knowing their type up front.
+"""
+
+import json
+import numbers
+from fractions import Fraction
+
+from repro.errors import AnalysisError
+
+#: Bump when any result schema changes incompatibly; golden-file tests
+#: in ``tests/test_results.py`` pin the layouts for each version.
+RESULTS_SCHEMA_VERSION = 1
+
+_REGISTRY = {}
+
+
+def register(cls):
+    """Class decorator: make ``cls`` reachable by ``kind`` through
+    :func:`result_from_dict`."""
+    kind = getattr(cls, "kind", None)
+    if not kind:
+        raise AnalysisError("result classes must define a non-empty `kind`")
+    existing = _REGISTRY.get(kind)
+    if existing is not None and existing is not cls:
+        raise AnalysisError("result kind %r registered twice" % (kind,))
+    _REGISTRY[kind] = cls
+    return cls
+
+
+# -- number / vector codecs ------------------------------------------------
+
+def encode_number(value):
+    """JSON-encode one numeric value, preserving its exactness tier."""
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, Fraction):
+        return "%d/%d" % (value.numerator, value.denominator)
+    if isinstance(value, numbers.Integral):
+        return int(value)
+    if isinstance(value, numbers.Real):
+        return float(value)
+    raise AnalysisError("cannot encode %r as a result number" % (type(value).__name__,))
+
+
+def decode_number(value):
+    """Invert :func:`encode_number`."""
+    if value is None or isinstance(value, (bool, int, float)):
+        return value
+    if isinstance(value, str):
+        numerator, _, denominator = value.partition("/")
+        try:
+            return Fraction(int(numerator), int(denominator))
+        except (ValueError, ZeroDivisionError):
+            raise AnalysisError("malformed rational %r" % (value,)) from None
+    raise AnalysisError("cannot decode %r as a result number" % (value,))
+
+
+def encode_vector(values):
+    """Encode an ordered sequence of numbers (``None`` passes through)."""
+    if values is None:
+        return None
+    return [encode_number(value) for value in values]
+
+
+def decode_vector(values):
+    if values is None:
+        return None
+    return [decode_number(value) for value in values]
+
+
+# -- the shared result contract --------------------------------------------
+
+class ResultBase:
+    """Base class for serializable result objects.
+
+    Subclasses define ``kind`` and implement ``_payload()`` (the
+    kind-specific dict body) and ``_from_payload(payload)`` (inverse
+    classmethod). Everything else — envelope stamping, validation,
+    structural equality, JSON round-trips — is shared.
+    """
+
+    kind = None
+
+    def _payload(self):
+        raise NotImplementedError
+
+    @classmethod
+    def _from_payload(cls, payload):
+        raise NotImplementedError
+
+    def to_dict(self):
+        """The stable JSON-serializable schema of this result."""
+        body = self._payload()
+        envelope = {"kind": self.kind, "schema": RESULTS_SCHEMA_VERSION}
+        envelope.update(body)
+        return envelope
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild a result from its :meth:`to_dict` schema."""
+        if not isinstance(data, dict):
+            raise AnalysisError("result schema must be a dict, got %r"
+                                % (type(data).__name__,))
+        kind = data.get("kind")
+        if kind != cls.kind:
+            raise AnalysisError(
+                "schema kind %r does not match %s (%r)" % (kind, cls.__name__, cls.kind)
+            )
+        schema = data.get("schema")
+        if schema != RESULTS_SCHEMA_VERSION:
+            raise AnalysisError(
+                "unsupported %s schema version %r (supported: %d)"
+                % (cls.__name__, schema, RESULTS_SCHEMA_VERSION)
+            )
+        return cls._from_payload(data)
+
+    def to_json(self, indent=None):
+        """The schema as a JSON string (stable key order)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text):
+        return cls.from_dict(json.loads(text))
+
+    def __eq__(self, other):
+        if other.__class__ is not self.__class__:
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __ne__(self, other):
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    __hash__ = None
+
+
+def result_from_dict(data):
+    """Deserialize any registered result by its ``kind`` tag."""
+    if not isinstance(data, dict) or "kind" not in data:
+        raise AnalysisError("not a result schema: missing `kind`")
+    kind = data["kind"]
+    cls = _REGISTRY.get(kind)
+    if cls is None:
+        # Result types living outside this package (the explore layer)
+        # register on import; pull them in before giving up.
+        import repro.explore.search  # noqa: F401
+
+        cls = _REGISTRY.get(kind)
+    if cls is None:
+        raise AnalysisError("unknown result kind %r" % (kind,))
+    return cls.from_dict(data)
+
+
+def result_from_json(text):
+    return result_from_dict(json.loads(text))
+
+
+__all__ = [
+    "RESULTS_SCHEMA_VERSION",
+    "ResultBase",
+    "decode_number",
+    "decode_vector",
+    "encode_number",
+    "encode_vector",
+    "register",
+    "result_from_dict",
+    "result_from_json",
+]

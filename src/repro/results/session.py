@@ -1,0 +1,446 @@
+"""Incremental analysis sessions with content-addressed verdict memoization.
+
+Every pipeline workload — ``sweep``, ``compare``, ``cross_refute`` —
+is a matrix of independent feasibility cells, and production use
+re-analyzes the same growing matrix after each addition: append one
+observation to a 1000-cell sweep, or one candidate model to a
+cross-refutation matrix, and a recompute-everything pipeline pays the
+full matrix again. :class:`AnalysisSession` memoizes each cell verdict
+under a content-addressed key::
+
+    (cone fingerprint, observation content hash, backend, mode)
+
+in memory, and — when given a store — through a persistent
+:class:`~repro.results.store.ArtifactStore` tier, so only genuinely new
+cells are ever tested. The keys are pure content hashes (no model or
+run names), so renamed models and re-measured-but-identical data still
+hit.
+
+:class:`~repro.pipeline.CounterPoint` owns a session per instance and
+routes its analysis methods through it; sessions can also be built
+standalone around any pipeline. With ``workers > 1`` only the *pending*
+cells are sharded across the process pool (session-aware sharding), and
+pool workers given a ``cache_dir`` share the same artifact store, so
+incrementality survives process boundaries.
+"""
+
+from repro.cone import (
+    identify_violations,
+    separating_constraint,
+    test_points_feasibility,
+    test_region_feasibility,
+)
+from repro.cone.violations import Violation
+from repro.errors import ReproError
+from repro.geometry.halfspace import EQUALITY
+from repro.results.fingerprint import observation_fingerprint
+from repro.results.store import ArtifactStore, content_key
+from repro.results.types import (
+    AnalysisReport,
+    CellVerdict,
+    CompareResult,
+    RefutationMatrix,
+    sweep_from_verdicts,
+)
+
+
+class SessionStats:
+    """Counters proving (or disproving) incrementality.
+
+    ``tests`` counts feasibility cells actually computed — the number
+    the incrementality contract is stated in: appending one observation
+    to a warmed sweep must raise it by exactly one, and a session warmed
+    from disk must not raise it at all.
+    """
+
+    __slots__ = ("tests", "memo_hits", "store_hits", "reports")
+
+    def __init__(self):
+        self.tests = 0
+        self.memo_hits = 0
+        self.store_hits = 0
+        self.reports = 0
+
+    def as_dict(self):
+        return {
+            "tests": self.tests,
+            "memo_hits": self.memo_hits,
+            "store_hits": self.store_hits,
+            "reports": self.reports,
+        }
+
+    def __repr__(self):
+        return ("SessionStats(tests=%d, memo_hits=%d, store_hits=%d, "
+                "reports=%d)") % (
+            self.tests, self.memo_hits, self.store_hits, self.reports,
+        )
+
+
+def _certificate_violation(cone, point, result, backend, explain, definite):
+    """Refutation evidence for an infeasible cell.
+
+    The batched facet screen's certificate is free when present; with
+    ``explain`` a missing certificate is filled in by the Farkas route
+    (:func:`repro.cone.certificates.separating_constraint`) at
+    feasibility-test cost — never by the exponential full deduction.
+    """
+    constraint = result.certificate
+    if constraint is None and explain:
+        try:
+            constraint = separating_constraint(cone, point, backend=backend)
+        except ReproError:
+            constraint = None
+    if constraint is None:
+        return None
+    margin = constraint.evaluate(cone.vector_from_observation(point))
+    if constraint.kind == EQUALITY:
+        margin = -abs(margin)
+    return Violation(constraint, margin, definite=definite)
+
+
+def compute_cell_verdicts(cone, targets, backend="exact", use_regions=False,
+                          explain=False):
+    """Compute the verdicts of a batch of cells (no memo involved).
+
+    This is the one function both the serial path and the pool workers
+    run, which is what makes ``workers=N`` results bit-for-bit equal to
+    serial ones. Point batches keep the exact facet screen's batching;
+    region cells run the Appendix A region LP. ``explain`` guarantees a
+    violated-constraint record for every infeasible cell.
+    """
+    verdicts = []
+    if use_regions:
+        for target in targets:
+            result = test_region_feasibility(cone, target, backend=backend)
+            if result.feasible:
+                verdicts.append(CellVerdict(True))
+            else:
+                # The region's centre is itself infeasible (it lies in
+                # the region), so a point certificate at the centre is
+                # valid evidence — flagged at-mean, not definite.
+                violation = _certificate_violation(
+                    cone, target.center(), result, backend, explain,
+                    definite=False,
+                )
+                verdicts.append(CellVerdict(False, violation))
+    else:
+        results = test_points_feasibility(cone, targets, backend=backend)
+        for target, result in zip(targets, results):
+            if result.feasible:
+                verdicts.append(CellVerdict(True))
+            else:
+                violation = _certificate_violation(
+                    cone, target, result, backend, explain, definite=True,
+                )
+                verdicts.append(CellVerdict(False, violation))
+    return verdicts
+
+
+class AnalysisSession:
+    """Incremental, memoizing front-end over a CounterPoint pipeline.
+
+    Parameters
+    ----------
+    pipeline:
+        The :class:`~repro.pipeline.CounterPoint` to compute through.
+        ``None`` builds one from the remaining keyword options.
+    store:
+        Persistent verdict tier: an
+        :class:`~repro.results.store.ArtifactStore`, a directory path to
+        build one over, or ``None`` (memory-only memoization). A warmed
+        store makes re-analysis of unchanged cells free *across
+        processes and runs*.
+    pipeline_options:
+        Passed to :class:`~repro.pipeline.CounterPoint` when
+        ``pipeline`` is ``None`` (``backend=``, ``workers=``, ...).
+    """
+
+    def __init__(self, pipeline=None, store=None, **pipeline_options):
+        if pipeline is None:
+            from repro.pipeline import CounterPoint
+
+            pipeline = CounterPoint(**pipeline_options)
+        elif pipeline_options:
+            raise ReproError(
+                "pass pipeline options or a ready pipeline, not both: %s"
+                % ", ".join(sorted(pipeline_options))
+            )
+        self.pipeline = pipeline
+        if store is not None and not isinstance(store, ArtifactStore):
+            store = ArtifactStore(store)
+        self.store = store
+        self._memo = {}
+        self.stats = SessionStats()
+
+    # -- memo plumbing -----------------------------------------------------
+    def _point_key(self, cone, observation, explain):
+        return content_key(
+            "point",
+            cone.fingerprint(),
+            observation_fingerprint(observation),
+            self.pipeline.backend,
+            bool(explain),
+        )
+
+    def _region_key(self, cone, observation, correlated, explain):
+        return content_key(
+            "region",
+            cone.fingerprint(),
+            observation_fingerprint(observation, samples=True),
+            self.pipeline.backend,
+            repr(float(self.pipeline.confidence)),
+            bool(correlated),
+            bool(explain),
+        )
+
+    def _lookup(self, key):
+        verdict = self._memo.get(key)
+        if verdict is not None:
+            self.stats.memo_hits += 1
+            return verdict
+        if self.store is not None:
+            payload = self.store.get("verdict", key)
+            if payload is not None:
+                verdict = CellVerdict.from_dict(payload)
+                self._memo[key] = verdict
+                self.stats.store_hits += 1
+                return verdict
+        return None
+
+    def _record(self, key, verdict):
+        self._memo[key] = verdict
+        if self.store is not None:
+            self.store.put("verdict", key, verdict.to_dict())
+
+    def forget(self):
+        """Drop the in-memory memo (the store, if any, is untouched)."""
+        self._memo.clear()
+
+    # -- sweeps ------------------------------------------------------------
+    def sweep(self, model, observations, use_regions=False, correlated=True,
+              explain=False):
+        """Evaluate a model against a dataset, testing only new cells.
+
+        Identical contract to :meth:`repro.pipeline.CounterPoint.sweep`
+        (which routes here); cells already answered by this session —
+        or by any earlier run sharing the store — are served from the
+        memo. Returns a :class:`~repro.results.types.ModelSweep` whose
+        ``why`` carries refutation evidence (guaranteed per infeasible
+        cell with ``explain``, best-effort otherwise).
+        """
+        pipeline = self.pipeline
+        cone = pipeline.model_cone(model)
+        observations = list(observations)
+        names = [
+            getattr(observation, "name", "obs%d" % index)
+            for index, observation in enumerate(observations)
+        ]
+        verdicts = [None] * len(observations)
+        pending = []
+        for index, observation in enumerate(observations):
+            if use_regions:
+                key = self._region_key(cone, observation, correlated, explain)
+            else:
+                key = self._point_key(cone, observation, explain)
+            verdict = self._lookup(key)
+            if verdict is None:
+                pending.append((index, key))
+            else:
+                verdicts[index] = verdict
+        if pending:
+            targets = [
+                self._target(observations[index], use_regions, correlated)
+                for index, _ in pending
+            ]
+            computed = self._compute(cone, targets, use_regions, explain)
+            self.stats.tests += len(pending)
+            for (index, key), verdict in zip(pending, computed):
+                self._record(key, verdict)
+                verdicts[index] = verdict
+        return sweep_from_verdicts(cone.name, names, verdicts)
+
+    def _target(self, observation, use_regions, correlated):
+        """The solvable form of an observation for one mode."""
+        if use_regions:
+            region = getattr(observation, "region", None)
+            if callable(region):
+                return region(
+                    confidence=self.pipeline.confidence, correlated=correlated
+                )
+            return observation  # already a region
+        point = getattr(observation, "point", None)
+        if callable(point):
+            return point()
+        return observation  # a mapping or ordered sequence
+
+    def _compute(self, cone, targets, use_regions, explain):
+        pipeline = self.pipeline
+        if pipeline._parallel() and len(targets) > 1:
+            from repro.parallel.tasks import dispatch_verdicts
+
+            return dispatch_verdicts(
+                pipeline.runner(),
+                cone,
+                targets,
+                backend=pipeline.backend,
+                use_regions=use_regions,
+                explain=explain,
+            )
+        return compute_cell_verdicts(
+            cone,
+            targets,
+            backend=pipeline.backend,
+            use_regions=use_regions,
+            explain=explain,
+        )
+
+    def compare(self, models, observations, **sweep_options):
+        """Sweep several candidate models over one dataset.
+
+        The multi-model view of :meth:`sweep` — appending one model to
+        a warmed comparison tests only the new model's cells. Returns a
+        :class:`~repro.results.types.CompareResult`.
+        """
+        # A list, not a dict: CompareResult's duplicate-name guard must
+        # see every sweep (a dict would silently drop earlier ones).
+        return CompareResult([
+            self.sweep(model, observations, **sweep_options)
+            for model in models
+        ])
+
+    # -- single-observation analysis ---------------------------------------
+    def analyze(self, model, observation, explain=False):
+        """Test one observation (point or region) against one model.
+
+        Returns an :class:`~repro.results.types.AnalysisReport`. Reports
+        are memoized whole — including the violated-constraint list,
+        whose deduction is the pipeline's most expensive step — so
+        re-analyzing a known-infeasible observation is free even in a
+        fresh process sharing the store.
+        """
+        pipeline = self.pipeline
+        cone = pipeline.model_cone(model)
+        is_region = hasattr(observation, "box_constraints")
+        key = content_key(
+            "report",
+            cone.fingerprint(),
+            observation_fingerprint(observation, samples=False),
+            pipeline.backend,
+            bool(explain),
+        )
+        cached = self._memo.get(key)
+        if cached is None and self.store is not None:
+            payload = self.store.get("report", key)
+            if payload is not None:
+                cached = AnalysisReport.from_dict(payload)
+                self._memo[key] = cached
+                self.stats.store_hits += 1
+        elif cached is not None:
+            self.stats.memo_hits += 1
+        if cached is not None:
+            # Content keys ignore model names; hand back a relabeled
+            # *copy* — mutating the memo entry would corrupt reports
+            # already returned to earlier callers.
+            report = AnalysisReport.from_dict(cached.to_dict())
+            report.model_name = cone.name
+            return report
+        if is_region:
+            result = test_region_feasibility(
+                cone, observation, backend=pipeline.backend
+            )
+        else:
+            result = test_points_feasibility(
+                cone, [observation], backend=pipeline.backend
+            )[0]
+        violations = []
+        certificate = result.certificate
+        if not result.feasible:
+            violations = identify_violations(
+                cone, observation, backend=pipeline.backend
+            )
+            if certificate is None and explain:
+                try:
+                    point = (
+                        observation.center() if is_region else observation
+                    )
+                    certificate = separating_constraint(
+                        cone, point, backend=pipeline.backend
+                    )
+                except ReproError:
+                    certificate = None
+        report = AnalysisReport(
+            cone.name,
+            result.feasible,
+            violations,
+            witness=result.witness,
+            certificate=certificate,
+        )
+        self.stats.tests += 1
+        self.stats.reports += 1
+        self._memo[key] = report
+        if self.store is not None:
+            self.store.put("report", key, report.to_dict())
+        return report
+
+    # -- the closed loop ---------------------------------------------------
+    def cross_refute(self, models, n_observations=3, n_uops=20000,
+                     weights=None, seed=0, explain=False):
+        """The closed-loop matrix: simulate each model, sweep all models.
+
+        Returns a :class:`~repro.results.types.RefutationMatrix`. On
+        the serial path cells are memoized individually in this
+        session, so re-running with one model appended re-tests only
+        the new row and column. With ``workers > 1`` the matrix shards
+        by row across the pool and the verdicts are computed (and
+        memoized) in the worker processes — incremental re-runs then
+        require a ``cache_dir`` on the pipeline, whose shared artifact
+        store plays the memo role across workers and runs; this
+        session's own memo and ``stats`` are not consulted or updated
+        by the pooled path.
+        """
+        from repro.sim import as_mudd, simulate_dataset
+
+        pipeline = self.pipeline
+        mudds = [as_mudd(model) for model in models]
+        if pipeline._parallel() and len(mudds) > 1:
+            from repro.parallel import parallel_cross_refute
+
+            return parallel_cross_refute(
+                pipeline.runner(),
+                mudds,
+                n_observations=n_observations,
+                n_uops=n_uops,
+                weights=weights,
+                seed=seed,
+                backend=pipeline.backend,
+                confidence=pipeline.confidence,
+                explain=explain,
+            )
+        rows = {}
+        for row, observed in enumerate(mudds):
+            observations = simulate_dataset(
+                observed,
+                n_observations,
+                n_uops=n_uops,
+                weights=weights,
+                seed=seed + 1000 * row,
+            )
+            counters = observations[0].samples.counters
+            sweeps = {}
+            for candidate in mudds:
+                cone = pipeline.model_cone(candidate, counters=counters)
+                sweeps[candidate.name] = self.sweep(
+                    cone, observations, explain=explain
+                )
+            rows[observed.name] = CompareResult(sweeps)
+        return RefutationMatrix(rows)
+
+    def __repr__(self):
+        return "AnalysisSession(%d memoized, %r%s)" % (
+            len(self._memo),
+            self.stats,
+            ", store=%r" % (self.store.root,) if self.store is not None else "",
+        )
+
+
+__all__ = ["AnalysisSession", "SessionStats", "compute_cell_verdicts"]

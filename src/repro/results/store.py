@@ -1,0 +1,251 @@
+"""A small content-addressed JSON artifact store.
+
+This generalizes the :class:`repro.cone.diskcache.DiskConeCache`
+pattern — atomic ``os.replace`` publication, version-stamped envelopes,
+corruption-tolerant reads, LRU byte cap — from "pickled model cones"
+to "any JSON result schema". It is the persistent tier behind
+:class:`~repro.results.session.AnalysisSession`'s verdict memo: one
+artifact per (kind, content key), safe to share between concurrent
+processes and across runs.
+
+Artifacts are JSON, not pickle, on purpose: they are the same stable
+schemas the :mod:`repro.results` types emit, so a store directory is
+readable by anything (a dashboard, ``jq``, a future service) and
+survives class moves and refactors that would orphan pickles.
+"""
+
+import hashlib
+import json
+import os
+import tempfile
+
+from repro.errors import AnalysisError
+
+#: Bump when the envelope layout changes incompatibly; entries carrying
+#: any other stamp are treated as misses and recomputed.
+ARTIFACT_FORMAT_VERSION = 1
+
+_ENTRY_SUFFIX = ".json"
+
+#: Unpublished temp files older than this are garbage from a process
+#: that died mid-write; prune() sweeps them.
+_STALE_TMP_SECONDS = 600.0
+
+
+def content_key(*parts):
+    """Deterministic hex key from hashable content parts."""
+    payload = repr(tuple(parts))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ArtifactStore:
+    """Content-addressed directory of JSON artifacts.
+
+    Parameters
+    ----------
+    root:
+        Directory to store artifacts in (created if missing). Safe to
+        share between concurrent processes and across runs.
+    max_bytes:
+        LRU size cap for the directory, pruned after each write;
+        ``None`` disables pruning.
+    version:
+        Envelope format stamp (overridable for tests).
+    """
+
+    def __init__(self, root, max_bytes=64 * 1024 * 1024,
+                 version=ARTIFACT_FORMAT_VERSION):
+        if max_bytes is not None and max_bytes <= 0:
+            raise AnalysisError("artifact store max_bytes must be positive")
+        self.root = os.fspath(root)
+        self.max_bytes = max_bytes
+        self.version = version
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        # Running estimate of bytes on disk, so writes stay O(1): a
+        # full directory scan happens only when this crosses the cap
+        # (verdict stores hold thousands of small artifacts — scanning
+        # on every put would make cold sweeps quadratic).
+        self._approx_bytes = None
+        os.makedirs(self.root, exist_ok=True)
+
+    # -- key/path plumbing -------------------------------------------------
+    @staticmethod
+    def key(*parts):
+        """Alias of :func:`content_key` for callers holding a store."""
+        return content_key(*parts)
+
+    def _path(self, kind, key):
+        if not kind or any(ch in kind for ch in "/\\."):
+            raise AnalysisError("artifact kind must be a bare label, got %r" % (kind,))
+        return os.path.join(self.root, "%s-%s%s" % (kind, key, _ENTRY_SUFFIX))
+
+    # -- entry I/O ---------------------------------------------------------
+    def get(self, kind, key):
+        """The stored payload dict for ``(kind, key)``, or ``None``.
+
+        Every failure mode — missing file, version mismatch, torn or
+        foreign bytes — counts as a miss so callers always fall back to
+        recomputing. Hits refresh the entry mtime so LRU pruning tracks
+        use, not just creation.
+        """
+        path = self._path(kind, key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                envelope = json.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            self._discard(path)
+            self.misses += 1
+            return None
+        if (
+            not isinstance(envelope, dict)
+            or envelope.get("version") != self.version
+            or envelope.get("kind") != kind
+            or envelope.get("key") != key
+            or "payload" not in envelope
+        ):
+            self._discard(path)
+            self.misses += 1
+            return None
+        self._touch(path)
+        self.hits += 1
+        return envelope["payload"]
+
+    def put(self, kind, key, payload):
+        """Atomically publish ``payload`` (a JSON-serializable dict)
+        under ``(kind, key)`` and prune to the byte cap."""
+        envelope = {
+            "version": self.version,
+            "kind": kind,
+            "key": key,
+            "payload": payload,
+        }
+        data = json.dumps(envelope, sort_keys=True).encode("utf-8")
+        descriptor, temp_path = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                handle.write(data)
+            os.replace(temp_path, self._path(kind, key))
+        except BaseException:
+            self._discard(temp_path)
+            raise
+        if self.max_bytes is None:
+            return
+        if self._approx_bytes is None:
+            self._approx_bytes = self.total_bytes()
+        else:
+            self._approx_bytes += len(data)
+        if self._approx_bytes > self.max_bytes:
+            self.prune()
+
+    def contains(self, kind, key):
+        return os.path.exists(self._path(kind, key))
+
+    def __len__(self):
+        return len(self._entries())
+
+    # -- maintenance -------------------------------------------------------
+    def _entries(self):
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return []
+        return [
+            os.path.join(self.root, name)
+            for name in names
+            if name.endswith(_ENTRY_SUFFIX)
+        ]
+
+    def total_bytes(self):
+        """Bytes currently used by artifacts."""
+        total = 0
+        for path in self._entries():
+            try:
+                total += os.path.getsize(path)
+            except OSError:
+                pass
+        return total
+
+    def _sweep_stale_temps(self, max_age=_STALE_TMP_SECONDS):
+        """Remove temp files abandoned by processes killed mid-write
+        (young ones may belong to a concurrent writer about to
+        publish)."""
+        import time
+
+        now = time.time()
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return
+        for name in names:
+            if not name.endswith(".tmp"):
+                continue
+            path = os.path.join(self.root, name)
+            try:
+                if now - os.stat(path).st_mtime >= max_age:
+                    self._discard(path)
+            except OSError:
+                continue
+
+    def prune(self):
+        """Evict least-recently-used artifacts until under the byte cap
+        (and sweep temp files orphaned by dead writers)."""
+        self._sweep_stale_temps()
+        if self.max_bytes is None:
+            return
+        stats = []
+        for path in self._entries():
+            try:
+                info = os.stat(path)
+            except OSError:
+                continue
+            stats.append((info.st_mtime, info.st_size, path))
+        total = sum(size for _, size, _ in stats)
+        if total <= self.max_bytes:
+            self._approx_bytes = total
+            return
+        stats.sort()  # oldest mtime first
+        for _, size, path in stats:
+            if total <= self.max_bytes:
+                break
+            if self._discard(path):
+                self.evictions += 1
+                total -= size
+        self._approx_bytes = total
+
+    def clear(self):
+        """Remove every artifact and temp file (counters are kept)."""
+        for path in self._entries():
+            self._discard(path)
+        self._sweep_stale_temps(max_age=0.0)
+        self._approx_bytes = 0
+
+    @staticmethod
+    def _touch(path):
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+
+    @staticmethod
+    def _discard(path):
+        try:
+            os.unlink(path)
+            return True
+        except OSError:
+            return False
+
+    def __repr__(self):
+        return "ArtifactStore(%r, %d artifacts, %d hits, %d misses)" % (
+            self.root,
+            len(self),
+            self.hits,
+            self.misses,
+        )
+
+
+__all__ = ["ARTIFACT_FORMAT_VERSION", "ArtifactStore", "content_key"]

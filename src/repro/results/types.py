@@ -1,0 +1,436 @@
+"""The typed result objects of the analysis pipeline.
+
+* :class:`CellVerdict` — one (model, observation) feasibility verdict,
+  the memoization unit of :class:`~repro.results.session.AnalysisSession`
+  and the message workers ship across the process pool.
+* :class:`AnalysisReport` — one observation against one model, with
+  violated constraints and an optional Farkas certificate.
+* :class:`ModelSweep` — one model against a dataset, now recording *why*
+  each infeasible observation failed (its violated-constraint record),
+  not just the names.
+* :class:`CompareResult` — a model family over one dataset (Table 3).
+  Behaves as a read-only mapping ``{model_name: ModelSweep}``.
+* :class:`RefutationMatrix` — the closed-loop cross-refutation matrix;
+  a read-only mapping ``{observed: CompareResult}``.
+
+All of them serialize through the shared :mod:`repro.results.base`
+contract: ``to_dict``/``from_dict``/``to_json``/``from_json``,
+structural equality, and a stamped, stable JSON schema.
+"""
+
+from collections.abc import Mapping
+
+from repro.errors import AnalysisError
+from repro.results.base import (
+    ResultBase,
+    decode_vector,
+    encode_vector,
+    register,
+)
+
+
+def _violation_to_dict(violation):
+    return None if violation is None else violation.to_dict()
+
+
+def _violation_from_dict(data):
+    from repro.cone.violations import Violation
+
+    return None if data is None else Violation.from_dict(data)
+
+
+@register
+class CellVerdict(ResultBase):
+    """One feasibility verdict: the unit of memoization and pool transfer.
+
+    Attributes
+    ----------
+    feasible:
+        Whether the observation intersects the model cone.
+    violation:
+        For infeasible cells, a :class:`repro.cone.violations.Violation`
+        naming one violated model constraint (definite for point
+        observations, at-mean for regions) — or ``None`` when no
+        certificate was requested or found.
+    """
+
+    kind = "cell_verdict"
+    __slots__ = ("feasible", "violation")
+
+    def __init__(self, feasible, violation=None):
+        self.feasible = bool(feasible)
+        self.violation = violation
+
+    def _payload(self):
+        return {
+            "feasible": self.feasible,
+            "violation": _violation_to_dict(self.violation),
+        }
+
+    @classmethod
+    def _from_payload(cls, payload):
+        return cls(payload["feasible"], _violation_from_dict(payload["violation"]))
+
+    def __bool__(self):
+        return self.feasible
+
+    def __repr__(self):
+        return "CellVerdict(feasible=%r)" % (self.feasible,)
+
+
+@register
+class AnalysisReport(ResultBase):
+    """Outcome of analysing one observation against one model.
+
+    Attributes
+    ----------
+    model_name:
+        The model under test.
+    feasible:
+        The verdict.
+    violations:
+        For infeasible observations, every violated model constraint
+        (:class:`repro.cone.violations.Violation`), definite violations
+        first — the refinement feedback of the paper's Section 5.
+    witness:
+        For feasible observations, a counter vector inside both the
+        observation/region and the cone.
+    certificate:
+        Optionally, a single violated constraint
+        (:class:`repro.cone.constraints.ModelConstraint`) found at
+        feasibility-test cost by the Farkas route — available even when
+        the expensive full deduction was not run.
+    """
+
+    kind = "analysis_report"
+
+    def __init__(self, model_name, feasible, violations, witness=None,
+                 certificate=None):
+        self.model_name = model_name
+        self.feasible = feasible
+        self.violations = violations
+        self.witness = witness
+        self.certificate = certificate
+
+    def summary(self):
+        """One-paragraph human rendering: the verdict, and for an
+        infeasible observation every violated model constraint."""
+        if self.feasible:
+            return "%s: feasible" % (self.model_name,)
+        lines = ["%s: INFEASIBLE (%d violated constraints)" % (
+            self.model_name,
+            len(self.violations),
+        )]
+        for violation in self.violations:
+            lines.append("  " + violation.render())
+        if not self.violations and self.certificate is not None:
+            lines.append("  certificate: " + self.certificate.render())
+        return "\n".join(lines)
+
+    def _payload(self):
+        return {
+            "model": self.model_name,
+            "feasible": bool(self.feasible),
+            "violations": [violation.to_dict() for violation in self.violations],
+            "witness": encode_vector(self.witness),
+            "certificate": (
+                None if self.certificate is None else self.certificate.to_dict()
+            ),
+        }
+
+    @classmethod
+    def _from_payload(cls, payload):
+        from repro.cone.constraints import ModelConstraint
+        from repro.cone.violations import Violation
+
+        certificate = payload["certificate"]
+        return cls(
+            payload["model"],
+            payload["feasible"],
+            [Violation.from_dict(entry) for entry in payload["violations"]],
+            witness=decode_vector(payload["witness"]),
+            certificate=(
+                None if certificate is None
+                else ModelConstraint.from_dict(certificate)
+            ),
+        )
+
+    def __repr__(self):
+        return "AnalysisReport(%r, feasible=%r)" % (self.model_name, self.feasible)
+
+
+@register
+class ModelSweep(ResultBase):
+    """Outcome of evaluating one model against many observations.
+
+    ``why`` records, per infeasible observation name, the violated
+    model constraint that refuted it (a
+    :class:`repro.cone.violations.Violation`, or ``None`` when no
+    certificate was available) — so a sweep survives serialization with
+    its refutation evidence, not just a list of names.
+    """
+
+    kind = "model_sweep"
+
+    def __init__(self, model_name, infeasible_names, n_observations, why=None):
+        self.model_name = model_name
+        self.infeasible_names = list(infeasible_names)
+        self.n_observations = n_observations
+        self.why = {} if why is None else dict(why)
+
+    @property
+    def n_infeasible(self):
+        """How many observations the model failed to explain."""
+        return len(self.infeasible_names)
+
+    @property
+    def feasible(self):
+        """Whether the model explains *every* observation — one
+        infeasible observation refutes a model (the paper's bar)."""
+        return not self.infeasible_names
+
+    def summary(self):
+        """Human rendering: the verdict line, then one line per
+        infeasible observation with its violated constraint."""
+        if self.feasible:
+            return "%s: feasible (%d observations)" % (
+                self.model_name, self.n_observations,
+            )
+        lines = ["%s: %d/%d observations infeasible" % (
+            self.model_name, self.n_infeasible, self.n_observations,
+        )]
+        for name in self.infeasible_names:
+            violation = self.why.get(name)
+            if violation is None:
+                lines.append("  %s" % (name,))
+            else:
+                lines.append("  %s: %s" % (name, violation.render()))
+        return "\n".join(lines)
+
+    def _payload(self):
+        return {
+            "model": self.model_name,
+            "n_observations": self.n_observations,
+            "infeasible": list(self.infeasible_names),
+            "why": {
+                name: _violation_to_dict(violation)
+                for name, violation in sorted(self.why.items())
+            },
+        }
+
+    @classmethod
+    def _from_payload(cls, payload):
+        return cls(
+            payload["model"],
+            payload["infeasible"],
+            payload["n_observations"],
+            why={
+                name: _violation_from_dict(entry)
+                for name, entry in payload["why"].items()
+            },
+        )
+
+    def __repr__(self):
+        return "ModelSweep(%r: %d/%d infeasible)" % (
+            self.model_name,
+            self.n_infeasible,
+            self.n_observations,
+        )
+
+
+def sweep_from_verdicts(model_name, names, verdicts):
+    """Assemble a :class:`ModelSweep` from per-observation verdicts
+    (dataset order), recording refutation evidence in ``why``."""
+    if len(names) != len(verdicts):
+        raise AnalysisError(
+            "%d verdicts for %d observations" % (len(verdicts), len(names))
+        )
+    infeasible = []
+    why = {}
+    for name, verdict in zip(names, verdicts):
+        if verdict.feasible:
+            continue
+        infeasible.append(name)
+        if verdict.violation is not None:
+            why[name] = verdict.violation
+    return ModelSweep(model_name, infeasible, len(names), why=why)
+
+
+@register
+class CompareResult(ResultBase, Mapping):
+    """A model family swept over one dataset (the Table 3 workflow).
+
+    A read-only ordered mapping ``{model_name: ModelSweep}`` — existing
+    dict-style call sites keep working — plus ranking/rendering helpers
+    and the shared serialization contract.
+    """
+
+    kind = "compare_result"
+
+    def __init__(self, sweeps):
+        if isinstance(sweeps, Mapping):
+            entries = list(sweeps.items())
+        else:
+            entries = [(sweep.model_name, sweep) for sweep in sweeps]
+        self._sweeps = dict(entries)
+        if len(self._sweeps) != len(entries):
+            raise AnalysisError("duplicate model names in comparison")
+
+    # -- mapping protocol ------------------------------------------------
+    def __getitem__(self, name):
+        return self._sweeps[name]
+
+    def __iter__(self):
+        return iter(self._sweeps)
+
+    def __len__(self):
+        return len(self._sweeps)
+
+    # -- queries -----------------------------------------------------------
+    def ranking(self):
+        """Model names ordered best-first (fewest infeasible, then
+        name) — the paper's Table 3 ordering."""
+        return sorted(
+            self._sweeps,
+            key=lambda name: (self._sweeps[name].n_infeasible, name),
+        )
+
+    @property
+    def feasible_models(self):
+        """Names of models that explain the whole dataset, in sweep
+        order."""
+        return [
+            name for name, sweep in self._sweeps.items() if sweep.feasible
+        ]
+
+    def summary(self):
+        lines = ["%d models x %d observations" % (
+            len(self._sweeps),
+            next(iter(self._sweeps.values())).n_observations if self._sweeps else 0,
+        )]
+        for name in self.ranking():
+            sweep = self._sweeps[name]
+            star = "*" if sweep.feasible else " "
+            lines.append("%s %-24s %d/%d infeasible" % (
+                star, name, sweep.n_infeasible, sweep.n_observations,
+            ))
+        return "\n".join(lines)
+
+    def _payload(self):
+        return {
+            "sweeps": {
+                name: sweep.to_dict() for name, sweep in self._sweeps.items()
+            },
+            "order": list(self._sweeps),
+        }
+
+    @classmethod
+    def _from_payload(cls, payload):
+        return cls({
+            name: ModelSweep.from_dict(payload["sweeps"][name])
+            for name in payload["order"]
+        })
+
+    def __repr__(self):
+        return "CompareResult(%d models, %d feasible)" % (
+            len(self._sweeps),
+            len(self.feasible_models),
+        )
+
+
+@register
+class RefutationMatrix(ResultBase, Mapping):
+    """The closed-loop matrix: simulate each model, sweep all models.
+
+    A read-only mapping ``{observed_name: CompareResult}`` (each row is
+    itself a mapping ``{candidate_name: ModelSweep}``, so the historical
+    ``matrix[observed][candidate]`` access pattern is unchanged). The
+    diagonal should be all-feasible by construction (counter
+    conservation); an infeasible off-diagonal entry means the candidate
+    cannot explain the observed model's behaviour.
+    """
+
+    kind = "refutation_matrix"
+
+    def __init__(self, rows):
+        self._rows = {
+            observed: (row if isinstance(row, CompareResult) else CompareResult(row))
+            for observed, row in dict(rows).items()
+        }
+
+    # -- mapping protocol ------------------------------------------------
+    def __getitem__(self, observed):
+        return self._rows[observed]
+
+    def __iter__(self):
+        return iter(self._rows)
+
+    def __len__(self):
+        return len(self._rows)
+
+    # -- queries -----------------------------------------------------------
+    def diagonal_feasible(self):
+        """Whether every model explains its own synthetic data (the
+        sanity property the paper's construction guarantees)."""
+        return all(
+            observed in row and row[observed].feasible
+            for observed, row in self._rows.items()
+        )
+
+    def refuted(self, observed):
+        """Candidate names the data simulated from ``observed`` refutes."""
+        return [
+            name for name, sweep in self._rows[observed].items()
+            if not sweep.feasible
+        ]
+
+    def summary(self):
+        names = list(self._rows)
+        width = max([len(name) for name in names] + [8])
+        lines = ["observed \\ candidate".ljust(width + 2)
+                 + " ".join(name.ljust(width) for name in names)]
+        for observed in names:
+            row = self._rows[observed]
+            cells = []
+            for candidate in names:
+                sweep = row.get(candidate)
+                if sweep is None:
+                    cells.append("-".ljust(width))
+                else:
+                    cells.append(
+                        ("ok" if sweep.feasible else
+                         "REFUTED(%d)" % sweep.n_infeasible).ljust(width)
+                    )
+            lines.append(observed.ljust(width + 2) + " ".join(cells))
+        return "\n".join(lines)
+
+    def _payload(self):
+        return {
+            "rows": {
+                observed: row.to_dict() for observed, row in self._rows.items()
+            },
+            "order": list(self._rows),
+        }
+
+    @classmethod
+    def _from_payload(cls, payload):
+        return cls({
+            observed: CompareResult.from_dict(payload["rows"][observed])
+            for observed in payload["order"]
+        })
+
+    def __repr__(self):
+        return "RefutationMatrix(%d models, diagonal %s)" % (
+            len(self._rows),
+            "feasible" if self.diagonal_feasible() else "BROKEN",
+        )
+
+
+__all__ = [
+    "AnalysisReport",
+    "CellVerdict",
+    "CompareResult",
+    "ModelSweep",
+    "RefutationMatrix",
+    "sweep_from_verdicts",
+]

@@ -168,15 +168,17 @@ def closed_loop(observed_model, candidate_models, n_uops=20000, weights=None,
     if workers is None or workers > 1:
         from repro.parallel import ParallelRunner, parallel_closed_loop
 
-        runner = ParallelRunner(workers=workers, cache_dir=cache_dir)
-        return parallel_closed_loop(
-            runner,
-            observation,
-            candidate_models,
-            backend=backend,
-            confidence=confidence,
-            use_regions=use_regions,
-        )
+        # The pool exists only for this call; shut it down on the way
+        # out instead of leaving workers to garbage-collection timing.
+        with ParallelRunner(workers=workers, cache_dir=cache_dir) as runner:
+            return parallel_closed_loop(
+                runner,
+                observation,
+                candidate_models,
+                backend=backend,
+                confidence=confidence,
+                use_regions=use_regions,
+            )
     counters = observation.samples.counters
     counterpoint = CounterPoint(backend=backend, confidence=confidence)
     target = (

@@ -9,7 +9,7 @@ than its computation.
 import random
 
 from repro.errors import SimulationError
-from repro.workloads.base import Workload, interleave_stores
+from repro.workloads.base import Workload
 
 
 class BfsWorkload(Workload):

@@ -68,18 +68,25 @@ def _help_output(*argv):
 def test_top_level_help_lists_all_commands():
     output = _help_output()
     for command in (
-        "constraints", "analyze", "render", "case-study",
-        "simulate", "errata-check",
+        "constraints", "analyze", "sweep", "compare", "render",
+        "case-study", "simulate", "errata-check",
     ):
         assert command in output
 
 
-@pytest.mark.parametrize("command", ["analyze", "simulate", "case-study"])
+@pytest.mark.parametrize(
+    "command", ["analyze", "simulate", "case-study", "sweep", "compare"]
+)
 def test_subcommand_help_documents_runtime_flags(command):
     output = _help_output(command)
     assert "--workers" in output
     assert "--cache-dir" in output
     assert "example" in output  # every subcommand help carries examples
+
+
+@pytest.mark.parametrize("command", ["analyze", "sweep", "compare", "case-study"])
+def test_analysis_subcommands_offer_json_output(command):
+    assert "--json" in _help_output(command)
 
 
 @pytest.mark.parametrize("command", ["constraints", "render", "errata-check"])

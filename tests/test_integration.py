@@ -9,11 +9,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-# These end-to-end runs dominate the test suite's wall clock (~15 s);
-# `pytest -m "not slow"` skips them for a fast inner loop while the
-# tier-1 command still runs everything.
-pytestmark = pytest.mark.slow
-
 from repro import CounterPoint
 from repro.cone import separating_constraint
 from repro.cone import test_point_feasibility as point_feasibility
@@ -22,6 +17,11 @@ from repro.counters.perf_io import format_perf_csv, parse_perf_csv
 from repro.mmu import MMUConfig, MMUSimulator, MemoryOp
 from repro.models import M_SERIES, build_model_cone
 from repro.workloads import LinearAccessWorkload, RandomAccessWorkload
+
+# These end-to-end runs dominate the test suite's wall clock (~15 s);
+# `pytest -m "not slow"` skips them for a fast inner loop while the
+# tier-1 command still runs everything.
+pytestmark = pytest.mark.slow
 
 
 class TestFigure2Flow:

@@ -18,12 +18,11 @@ from repro.models import (
 )
 from repro.models.dataset import (
     MB,
-    Observation,
     RunSpec,
     run_observation,
     standard_runspecs,
 )
-from repro.models.features import FEATURES, TLB_PF, WALK_BYPASS
+from repro.models.features import FEATURES, TLB_PF
 from repro.mudd import signature_matrix
 from repro.workloads import LinearAccessWorkload
 

@@ -1,0 +1,310 @@
+"""repro.results: serialization round-trips and schema stability.
+
+Two contracts are pinned here:
+
+* **Round-trip identity** — for every result type, over many seeded
+  random instances: ``from_dict(to_dict(x)) == x`` (and through JSON
+  text), with exactness tiers (int / Fraction / float) preserved.
+* **Schema stability** — committed golden files under ``tests/golden/``
+  pin the exact JSON layout of every result kind. A PR that changes a
+  schema must regenerate the goldens (and bump
+  ``RESULTS_SCHEMA_VERSION`` when the change is incompatible), or fail
+  here.
+"""
+
+import json
+import os
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.cone.constraints import ModelConstraint
+from repro.cone.violations import Violation
+from repro.errors import AnalysisError
+from repro.explore.search import ModelEvaluation, SearchResult
+from repro.geometry.halfspace import EQUALITY, INEQUALITY, ConeConstraint
+from repro.results import (
+    AnalysisReport,
+    CellVerdict,
+    CompareResult,
+    ModelSweep,
+    RefutationMatrix,
+    decode_number,
+    encode_number,
+    result_from_dict,
+    result_from_json,
+)
+
+GOLDEN_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "golden")
+
+SEEDS = range(12)
+
+
+# -- seeded instance generators --------------------------------------------
+
+def _constraint(rng, n=3):
+    while True:
+        normal = [rng.randint(-4, 4) for _ in range(n)]
+        if any(normal):
+            break
+    kind = rng.choice([EQUALITY, INEQUALITY])
+    counters = ["ctr.%c" % (97 + index,) for index in range(n)]
+    return ModelConstraint(ConeConstraint(normal, kind), counters)
+
+
+def _margin(rng):
+    return rng.choice([
+        Fraction(rng.randint(-20, -1), rng.randint(1, 7)),
+        float(rng.uniform(-5.0, -0.1)),
+        rng.randint(-9, -1),
+    ])
+
+
+def _violation(rng):
+    return Violation(_constraint(rng), _margin(rng), rng.random() < 0.5)
+
+
+def _verdict(rng):
+    if rng.random() < 0.5:
+        return CellVerdict(True)
+    return CellVerdict(False, _violation(rng) if rng.random() < 0.8 else None)
+
+
+def _report(rng):
+    feasible = rng.random() < 0.5
+    witness = rng.choice([
+        None,
+        [Fraction(rng.randint(0, 9), rng.randint(1, 4)) for _ in range(3)],
+        [float(rng.uniform(0, 9)) for _ in range(3)],
+        [rng.randint(0, 9) for _ in range(3)],
+    ])
+    return AnalysisReport(
+        "model-%d" % rng.randint(0, 99),
+        feasible,
+        [] if feasible else [_violation(rng) for _ in range(rng.randint(0, 3))],
+        witness=witness if feasible else None,
+        certificate=None if feasible or rng.random() < 0.5 else _constraint(rng),
+    )
+
+
+def _sweep(rng):
+    n = rng.randint(1, 6)
+    names = ["obs%d" % index for index in range(n)]
+    infeasible = [name for name in names if rng.random() < 0.5]
+    why = {
+        name: _violation(rng) for name in infeasible if rng.random() < 0.7
+    }
+    return ModelSweep("model-%d" % rng.randint(0, 99), infeasible, n, why=why)
+
+
+def _compare(rng):
+    sweeps = {}
+    for index in range(rng.randint(1, 4)):
+        sweep = _sweep(rng)
+        sweep.model_name = "candidate-%d" % index
+        sweeps[sweep.model_name] = sweep
+    return CompareResult(sweeps)
+
+
+def _matrix(rng):
+    names = ["model-%d" % index for index in range(rng.randint(1, 3))]
+    rows = {}
+    for observed in names:
+        sweeps = {}
+        for candidate in names:
+            sweep = _sweep(rng)
+            sweep.model_name = candidate
+            sweeps[candidate] = sweep
+        rows[observed] = sweeps
+    return RefutationMatrix(rows)
+
+
+def _evaluation(rng):
+    features = {"feat%d" % index for index in range(rng.randint(0, 4))}
+    n = rng.randint(1, 6)
+    infeasible = ["obs%d" % index for index in range(n) if rng.random() < 0.4]
+    return ModelEvaluation(features, infeasible, n)
+
+
+def _search_result(rng):
+    evaluations = {}
+    for _ in range(rng.randint(1, 5)):
+        evaluation = _evaluation(rng)
+        evaluations[evaluation.features] = evaluation
+    trail = [frozenset(features) for features in list(evaluations)[:2]]
+    candidate = rng.choice([None, *list(evaluations)])
+    return SearchResult(evaluations, trail, candidate)
+
+
+GENERATORS = {
+    "cell_verdict": _verdict,
+    "analysis_report": _report,
+    "model_sweep": _sweep,
+    "compare_result": _compare,
+    "refutation_matrix": _matrix,
+    "model_evaluation": _evaluation,
+    "search_result": _search_result,
+}
+
+
+# -- round-trip property tests ---------------------------------------------
+
+@pytest.mark.parametrize("kind", sorted(GENERATORS))
+@pytest.mark.parametrize("seed", SEEDS)
+def test_round_trip_identity(kind, seed):
+    import zlib
+
+    rng = random.Random(zlib.crc32(("%s/%d" % (kind, seed)).encode("utf-8")))
+    original = GENERATORS[kind](rng)
+    data = original.to_dict()
+    assert data["kind"] == kind
+    rebuilt = type(original).from_dict(data)
+    assert rebuilt == original
+    # JSON text round-trip, via the kind dispatcher.
+    assert result_from_json(original.to_json()) == original
+    # The schema itself round-trips byte-identically.
+    assert rebuilt.to_dict() == data
+    assert json.loads(original.to_json()) == json.loads(rebuilt.to_json())
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_equality_is_structural(seed):
+    rng = random.Random(seed)
+    sweep = _sweep(rng)
+    clone = ModelSweep.from_dict(sweep.to_dict())
+    assert sweep == clone
+    clone.infeasible_names.append("extra")
+    assert sweep != clone
+
+
+def test_number_codec_preserves_exactness_tier():
+    cases = [0, 7, -3, Fraction(1, 3), Fraction(-7, 2), Fraction(5, 1),
+             1.5, -0.25, None, True, False]
+    for value in cases:
+        decoded = decode_number(encode_number(value))
+        assert decoded == value
+        assert type(decoded) is type(value)
+    # Fractions stay Fractions even when integral-valued.
+    assert isinstance(decode_number(encode_number(Fraction(5, 1))), Fraction)
+    with pytest.raises(AnalysisError):
+        decode_number("not/arational")
+
+
+def test_dispatcher_rejects_unknown_and_stale_schemas():
+    with pytest.raises(AnalysisError):
+        result_from_dict({"no": "kind"})
+    with pytest.raises(AnalysisError):
+        result_from_dict({"kind": "no_such_kind", "schema": 1})
+    verdict = CellVerdict(True)
+    stale = verdict.to_dict()
+    stale["schema"] = 999
+    with pytest.raises(AnalysisError):
+        CellVerdict.from_dict(stale)
+    wrong_kind = verdict.to_dict()
+    wrong_kind["kind"] = "model_sweep"
+    with pytest.raises(AnalysisError):
+        CellVerdict.from_dict(wrong_kind)
+
+
+def test_mapping_protocol_compatibility():
+    """CompareResult/RefutationMatrix keep dict-style call sites working."""
+    rng = random.Random(3)
+    matrix = _matrix(rng)
+    for observed, row in matrix.items():
+        for candidate in row:
+            assert row[candidate].model_name == candidate
+    comparison = _compare(rng)
+    assert set(comparison.keys()) == {s.model_name for s in comparison.values()}
+    assert comparison.ranking() == sorted(
+        comparison, key=lambda name: (comparison[name].n_infeasible, name)
+    )
+
+
+# -- golden-file schema stability ------------------------------------------
+
+def _golden_instances():
+    """Deterministic instances, one per result kind (golden fixtures)."""
+    constraint = ModelConstraint(
+        ConeConstraint([1, -1], INEQUALITY), ["load.causes_walk", "load.pde$_miss"]
+    )
+    equality = ModelConstraint(
+        ConeConstraint([1, -2], EQUALITY), ["load.causes_walk", "load.pde$_miss"]
+    )
+    violation = Violation(constraint, Fraction(-7, 1), True)
+    at_mean = Violation(equality, -2.5, False)
+    report = AnalysisReport(
+        "pde_initial",
+        False,
+        [violation, at_mean],
+        witness=None,
+        certificate=constraint,
+    )
+    sweep = ModelSweep(
+        "pde_initial",
+        ["run1", "run3"],
+        4,
+        why={"run1": violation, "run3": None},
+    )
+    feasible_sweep = ModelSweep("pde_refined", [], 4)
+    compare = CompareResult({
+        "pde_initial": sweep,
+        "pde_refined": feasible_sweep,
+    })
+    matrix = RefutationMatrix({
+        "pde_initial": {
+            "pde_initial": ModelSweep("pde_initial", [], 2),
+            "pde_refined": ModelSweep("pde_refined", [], 2),
+        },
+        "pde_refined": {
+            "pde_initial": ModelSweep("pde_initial", ["run0"], 2,
+                                      why={"run0": violation}),
+            "pde_refined": ModelSweep("pde_refined", [], 2),
+        },
+    })
+    evaluation = ModelEvaluation({"TlbPf", "Merging"}, ["lin4k-revisit-a"], 24)
+    search = SearchResult(
+        {evaluation.features: evaluation},
+        [frozenset(), evaluation.features],
+        evaluation.features,
+    )
+    verdict = CellVerdict(False, violation)
+    return {
+        "cell_verdict": verdict,
+        "analysis_report": report,
+        "model_sweep": sweep,
+        "compare_result": compare,
+        "refutation_matrix": matrix,
+        "model_evaluation": evaluation,
+        "search_result": search,
+    }
+
+
+@pytest.mark.parametrize("kind", sorted(GENERATORS))
+def test_golden_schema_stability(kind):
+    """The committed golden JSON is byte-equal to the live schema and
+    deserializes to an equal object. Regenerate deliberately with
+    ``python tests/test_results.py regen`` after a schema change."""
+    instance = _golden_instances()[kind]
+    path = os.path.join(GOLDEN_DIR, "%s.json" % kind)
+    with open(path, "r", encoding="utf-8") as handle:
+        golden = json.load(handle)
+    assert instance.to_dict() == golden
+    assert result_from_dict(golden) == instance
+
+
+def _regenerate_goldens():
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    for kind, instance in _golden_instances().items():
+        path = os.path.join(GOLDEN_DIR, "%s.json" % kind)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(instance.to_json(indent=2))
+            handle.write("\n")
+        print("wrote %s" % path)
+
+
+if __name__ == "__main__":
+    import sys
+
+    if len(sys.argv) > 1 and sys.argv[1] == "regen":
+        _regenerate_goldens()

@@ -382,6 +382,58 @@ class TestCli:
         assert "mean totals" in output
         assert "feasible" in output
 
+    def test_sweep_command_projects_hardware_dataset(self, model_file, capsys):
+        # The bundled dataset carries the full 26-counter space; a
+        # 2-counter DSL model must be swept over its projection, not
+        # rejected with a scope error.
+        from repro.cli import main
+
+        code = main(["sweep", model_file, "--scale", "0.05"])
+        assert code in (0, 1)
+        output = capsys.readouterr().out
+        assert "observations" in output
+
+    def test_sweep_command_json_loads_back(self, capsys):
+        import json
+
+        from repro.cli import main
+        from repro.results import ModelSweep, result_from_dict
+
+        code = main([
+            "sweep", "--bundled", "pde_initial",
+            "--simulate-from", "pde_refined", "--n-uops", "3000", "--json",
+        ])
+        assert code == 1  # refuted
+        sweep = result_from_dict(json.loads(capsys.readouterr().out))
+        assert isinstance(sweep, ModelSweep)
+        assert not sweep.feasible
+        assert all(sweep.why[name] is not None for name in sweep.infeasible_names)
+
+    def test_compare_command_ranks_models(self, capsys):
+        import json
+
+        from repro.cli import main
+        from repro.results import CompareResult, result_from_dict
+
+        code = main([
+            "compare", "--bundled", "pde_initial", "pde_refined",
+            "--simulate-from", "pde_refined", "--n-uops", "3000", "--json",
+        ])
+        assert code == 0  # pde_refined explains its own data
+        comparison = result_from_dict(json.loads(capsys.readouterr().out))
+        assert isinstance(comparison, CompareResult)
+        assert comparison.ranking()[0] == "pde_refined"
+
+    def test_case_study_survives_warm_cone_memo(self, capsys):
+        # build_model_cone memoises by feature set and ignores name= on
+        # a hit; case-study must not depend on cone names it may not get.
+        from repro.cli import main
+        from repro.models import M_SERIES, build_model_cone
+
+        build_model_cone(M_SERIES["m0"])  # warm with the default name
+        assert main(["case-study", "--scale", "0.05"]) == 0
+        assert "m0" in capsys.readouterr().out
+
     def test_simulate_bad_weight(self, model_file, capsys):
         from repro.cli import main
 

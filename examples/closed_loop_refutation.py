@@ -60,13 +60,17 @@ def main():
     assert not reports["no_merging_load_side"].feasible
 
     print("\n-- The same loop through the pipeline facade --")
-    counterpoint = CounterPoint(backend="exact")
-    matrix = counterpoint.cross_refute(
-        ["merging_load_side", "no_merging_load_side"],
-        n_observations=3,
-        n_uops=10000,
-        weights=WEIGHTS,
-    )
+    # workers=2 shards the row simulations and pending verdict cells
+    # across a process pool (identical results to serial); the context
+    # manager shuts the pool down on every exit path — never construct
+    # a pooled pipeline without one.
+    with CounterPoint(backend="exact", workers=2) as counterpoint:
+        matrix = counterpoint.cross_refute(
+            ["merging_load_side", "no_merging_load_side"],
+            n_observations=3,
+            n_uops=10000,
+            weights=WEIGHTS,
+        )
     print("%-22s" % "simulated \\ candidate", end="")
     names = sorted(matrix)
     for name in names:

@@ -32,16 +32,16 @@ def main():
         len({o.meta.get("name") for o in observations}),
     ))
 
-    counterpoint = CounterPoint(backend="scipy")
-
-    print("Table 3 — initial model search:")
-    print("%-5s %-45s %s" % ("model", "features", "#infeasible"))
-    for name in sorted(M_SERIES, key=lambda n: int(n[1:])):
-        features = M_SERIES[name]
-        cone = build_model_cone(features)
-        sweep = counterpoint.sweep(cone, observations)
-        star = "*" if sweep.feasible else " "
-        print("%s%-4s %-45s %d" % (star, name, ",".join(sorted(features)) or "(none)", sweep.n_infeasible))
+    # The context manager reaps any worker pool the pipeline spawns.
+    with CounterPoint(backend="scipy") as counterpoint:
+        print("Table 3 — initial model search:")
+        print("%-5s %-45s %s" % ("model", "features", "#infeasible"))
+        for name in sorted(M_SERIES, key=lambda n: int(n[1:])):
+            features = M_SERIES[name]
+            cone = build_model_cone(features)
+            sweep = counterpoint.sweep(cone, observations)
+            star = "*" if sweep.feasible else " "
+            print("%s%-4s %-45s %d" % (star, name, ",".join(sorted(features)) or "(none)", sweep.n_infeasible))
     print()
 
     print("Guided search (discovery from the conservative model m0):")

@@ -36,18 +36,18 @@ def describe(spec):
 def main():
     print("Collecting observations ...")
     observations = standard_dataset()
-    counterpoint = CounterPoint(backend="scipy")
-
-    print("\nTable 5 — prefetch trigger condition models:\n")
-    print("%-5s %-48s %s" % ("model", "trigger condition", "#infeasible"))
-    results = {}
-    for name in sorted(T_SERIES, key=lambda n: int(n[1:])):
-        spec = T_SERIES[name]
-        cone = build_model_cone(M_SERIES["m4"], trigger=spec)
-        sweep = counterpoint.sweep(cone, observations)
-        results[name] = sweep
-        marker = " " if sweep.feasible else "x"
-        print("%s%-4s %-48s %d" % (marker, name, describe(spec), sweep.n_infeasible))
+    # The context manager reaps any worker pool the pipeline spawns.
+    with CounterPoint(backend="scipy") as counterpoint:
+        print("\nTable 5 — prefetch trigger condition models:\n")
+        print("%-5s %-48s %s" % ("model", "trigger condition", "#infeasible"))
+        results = {}
+        for name in sorted(T_SERIES, key=lambda n: int(n[1:])):
+            spec = T_SERIES[name]
+            cone = build_model_cone(M_SERIES["m4"], trigger=spec)
+            sweep = counterpoint.sweep(cone, observations)
+            results[name] = sweep
+            marker = " " if sweep.feasible else "x"
+            print("%s%-4s %-48s %d" % (marker, name, describe(spec), sweep.n_infeasible))
 
     print("\nInference (the paper's §C.2 reasoning):")
     spec_ok = all(results["t%d" % i].feasible for i in range(9))

@@ -46,27 +46,28 @@ OBSERVATION = {"load.causes_walk": 412, "load.pde$_miss": 805}
 
 
 def main():
-    counterpoint = CounterPoint(backend="exact")
+    # The context manager reaps the pipeline's worker pool (if any was
+    # spawned) deterministically on every exit path.
+    with CounterPoint(backend="exact") as counterpoint:
+        print("=== CounterPoint quickstart: the PDE cache surprise ===\n")
+        print("Observation:", OBSERVATION, "\n")
 
-    print("=== CounterPoint quickstart: the PDE cache surprise ===\n")
-    print("Observation:", OBSERVATION, "\n")
+        print("-- Initial model (walk starts before PDE probe) --")
+        report = counterpoint.analyze(INITIAL_MODEL, OBSERVATION)
+        print(report.summary())
+        assert not report.feasible, "the observation should refute the initial model"
+        print()
 
-    print("-- Initial model (walk starts before PDE probe) --")
-    report = counterpoint.analyze(INITIAL_MODEL, OBSERVATION)
-    print(report.summary())
-    assert not report.feasible, "the observation should refute the initial model"
-    print()
+        print("Derived model constraints of the initial model:")
+        for constraint in counterpoint.model_cone(INITIAL_MODEL).constraints():
+            print("   ", constraint.render())
+        print()
 
-    print("Derived model constraints of the initial model:")
-    for constraint in counterpoint.model_cone(INITIAL_MODEL).constraints():
-        print("   ", constraint.render())
-    print()
-
-    print("-- Refined model (early PDE probe + abortable requests) --")
-    report = counterpoint.analyze(REFINED_MODEL, OBSERVATION)
-    print(report.summary())
-    assert report.feasible, "the refinement should reconcile the data"
-    print()
+        print("-- Refined model (early PDE probe + abortable requests) --")
+        report = counterpoint.analyze(REFINED_MODEL, OBSERVATION)
+        print(report.summary())
+        assert report.feasible, "the refinement should reconcile the data"
+        print()
 
     print(
         "Conclusion: the hardware must probe the PDE cache before the\n"

@@ -42,6 +42,7 @@ from repro.cone import DiskConeCache, ModelCone
 from repro.dsl import compile_dsl
 from repro.mudd import MuDD
 from repro.parallel import ParallelRunner
+from repro.plan import Plan, PlanEngine, PlanResult
 from repro.results import (
     AnalysisReport,
     AnalysisSession,
@@ -62,7 +63,7 @@ from repro.sim import (
 )
 from repro.stats import ConfidenceRegion, PointRegion
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AnalysisReport",
@@ -78,6 +79,9 @@ __all__ = [
     "MuDD",
     "MuDDExecutor",
     "ParallelRunner",
+    "Plan",
+    "PlanEngine",
+    "PlanResult",
     "PointRegion",
     "RandomOracle",
     "RefutationMatrix",

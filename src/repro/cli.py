@@ -21,6 +21,16 @@ Commands
 ``compare <model.dsl> [<model.dsl> ...]``
     Sweep a model family over one dataset and rank it (the Table 3
     workflow).
+``run <plan.json> [--dry-run]``
+    Execute a declarative :mod:`repro.plan` experiment spec — a whole
+    campaign compiled into one content-addressed task DAG with global
+    deduplication; ``--dry-run`` prices it without solving.
+``plan <template> --models ...``
+    Author a plan JSON from a template (``sweep``, ``compare``,
+    ``cross-refute``, ``closed-loop``).
+``show <result.json>``
+    Load any serialized result by its ``kind`` tag and print its
+    summary — including ``PlanResult`` bundles.
 ``simulate <model.dsl | --bundled name> [--n-uops N] [--traces T]``
     Execute a µDD with the :mod:`repro.sim` engine and print synthetic
     counter totals. ``--weight Prop=Value:W`` biases branch choices,
@@ -33,21 +43,22 @@ Commands
             --weight Merged=Yes:3 --analyze no_merging_load_side
 
 Shared performance flags (``analyze``, ``sweep``, ``compare``,
-``simulate``, ``case-study``): ``--cache-dir DIR`` persists model cones
-*and* feasibility verdicts on disk (:mod:`repro.cone.diskcache`,
-:mod:`repro.results.store`) — deduction and verdicts run once per
-content ever, shared across runs and processes; ``--workers N`` shards
-dataset sweeps across a process pool (:mod:`repro.parallel`). The
-analysis commands (``analyze``, ``sweep``, ``compare``, ``case-study``)
-accept ``--json`` to emit the stable :mod:`repro.results` schema
-instead of text.
+``simulate``, ``case-study``, ``run``): ``--cache-dir DIR`` persists
+model cones *and* feasibility verdicts on disk
+(:mod:`repro.cone.diskcache`, :mod:`repro.results.store`) — deduction
+and verdicts run once per content ever, shared across runs and
+processes; ``--workers N`` shards dataset sweeps across a process pool
+(:mod:`repro.parallel`). The analysis commands (``analyze``, ``sweep``,
+``compare``, ``case-study``, ``run``) accept ``--json`` to emit the
+stable :mod:`repro.results` schema instead of text, and ``analyze`` /
+``sweep`` / ``compare`` / ``run`` accept ``--stats`` to report session
+cache effectiveness (computed cells vs memo/store hits).
 """
 
 import argparse
 import sys
 
-from repro.cone import ModelCone, identify_violations, separating_constraint
-from repro.cone import test_point_feasibility, test_region_feasibility
+from repro.cone import ModelCone
 from repro.counters.errata import check_measurement_plan
 from repro.dsl import compile_dsl
 from repro.errors import ReproError
@@ -95,13 +106,44 @@ def cmd_constraints(arguments):
     return 0
 
 
+def _session_stats(counterpoint):
+    return counterpoint.session().stats.as_dict()
+
+
+def _render_stats(stats):
+    return ("session stats: %(tests)d computed, %(memo_hits)d memo hits, "
+            "%(store_hits)d store hits, %(reports)d reports" % stats)
+
+
+def _emit_result(result, arguments, counterpoint):
+    """Print a result honouring ``--json`` and ``--stats``.
+
+    With both flags the stable result schema gains a top-level
+    ``session_stats`` key — extra envelope keys are ignored by
+    ``from_dict``, so the output still loads with ``result_from_json``.
+    """
+    import json
+
+    stats = _session_stats(counterpoint) if getattr(arguments, "stats", False) \
+        else None
+    if arguments.json:
+        data = result.to_dict()
+        if stats is not None:
+            data["session_stats"] = stats
+        print(json.dumps(data, indent=2, sort_keys=True))
+    else:
+        print(result.summary())
+        if stats is not None:
+            print(_render_stats(stats))
+
+
 def cmd_analyze(arguments):
     from repro.pipeline import CounterPoint
 
     mudd = _load_model(arguments.model)
-    # Cone construction goes through the facade so --workers/--cache-dir
-    # reach the pipeline (the disk cache serves the cone; the pool is
-    # available to any sharded work the pipeline grows). The context
+    # Analysis goes through the facade — a one-op plan over the plan
+    # engine — so --workers/--cache-dir reach the pipeline, verdicts
+    # memoize in the session (observable with --stats), and the context
     # manager reaps the pool on every exit path.
     with CounterPoint(
         backend=arguments.backend,
@@ -110,7 +152,6 @@ def cmd_analyze(arguments):
         cache_dir=arguments.cache_dir or None,
     ) as counterpoint:
         cone = counterpoint.model_cone(mudd)
-        backend = arguments.backend
 
         if arguments.perf_csv:
             from repro.counters.perf_io import read_perf_csv
@@ -123,53 +164,33 @@ def cmd_analyze(arguments):
             if missing:
                 print("error: CSV lacks model counters: %s" % ", ".join(missing))
                 return 2
-            region = samples.subset(cone.counters).confidence_region(
+            observation = samples.subset(cone.counters).confidence_region(
                 confidence=arguments.confidence,
                 correlated=not arguments.independent,
             )
-            result = test_region_feasibility(cone, region, backend=backend)
-            observation = region
         else:
             observation = _parse_observation(arguments.observation)
-            result = test_point_feasibility(cone, observation, backend=backend)
 
-        certificate = None
-        violations = []
-        if not result.feasible:
-            certificate = separating_constraint(
-                cone,
-                observation if isinstance(observation, dict) else observation.center(),
-                backend=backend,
-            )
-            if arguments.violations:
-                violations = identify_violations(
-                    cone, observation, backend=backend
-                )
+        report = counterpoint.analyze(cone, observation, explain=True)
 
         if arguments.json:
-            from repro.results import AnalysisReport
+            _emit_result(report, arguments, counterpoint)
+            return 0 if report.feasible else 1
 
-            report = AnalysisReport(
-                cone.name,
-                result.feasible,
-                violations,
-                witness=result.witness,
-                certificate=certificate,
-            )
-            print(report.to_json(indent=2))
-            return 0 if result.feasible else 1
-
-        if result.feasible:
+        if report.feasible:
             print("FEASIBLE: the observation is consistent with the model.")
-            return 0
-        print("INFEASIBLE: the observation violates the model.")
-        if certificate is not None:
-            print("certificate (one violated constraint): %s" % certificate.render())
-        if arguments.violations:
-            print("all violated constraints:")
-            for violation in violations:
-                print("  " + violation.render())
-        return 1
+        else:
+            print("INFEASIBLE: the observation violates the model.")
+            if report.certificate is not None:
+                print("certificate (one violated constraint): %s"
+                      % report.certificate.render())
+            if arguments.violations:
+                print("all violated constraints:")
+                for violation in report.violations:
+                    print("  " + violation.render())
+        if arguments.stats:
+            print(_render_stats(_session_stats(counterpoint)))
+        return 0 if report.feasible else 1
 
 
 def cmd_render(arguments):
@@ -266,34 +287,11 @@ def _sweep_pipeline(arguments):
 
 
 def _project_observations(observations, cone):
-    """Restrict dataset observations to a cone's counter scope.
+    """Dataset-to-model counter projection (shared with the plan
+    engine; see :func:`repro.models.dataset.project_observations`)."""
+    from repro.models.dataset import project_observations
 
-    The bundled hardware datasets carry the full 26-counter Haswell
-    space; a DSL model usually covers a subset. Like ``analyze
-    --perf-csv``, the measurement is projected onto the model's
-    counters — a counter the model never mentions cannot refute it. A
-    counter the model *does* mention but the dataset lacks is an error.
-    """
-    from repro.models.dataset import Observation
-
-    first = observations[0]
-    missing = [name for name in cone.counters if name not in first.totals]
-    if missing:
-        raise ReproError(
-            "dataset lacks model counters: %s" % ", ".join(missing)
-        )
-    if all(name in cone.counters for name in first.totals):
-        return observations
-    return [
-        Observation(
-            observation.name,
-            observation.page_size,
-            {name: observation.totals[name] for name in cone.counters},
-            observation.samples.subset(cone.counters),
-            meta=observation.meta,
-        )
-        for observation in observations
-    ]
+    return project_observations(observations, cone)
 
 
 def cmd_sweep(arguments):
@@ -313,10 +311,7 @@ def cmd_sweep(arguments):
             correlated=not arguments.independent,
             explain=True,
         )
-    if arguments.json:
-        print(sweep.to_json(indent=2))
-    else:
-        print(sweep.summary())
+        _emit_result(sweep, arguments, counterpoint)
     return 0 if sweep.feasible else 1
 
 
@@ -340,10 +335,7 @@ def cmd_compare(arguments):
         from repro.results import CompareResult
 
         comparison = CompareResult(sweeps)
-    if arguments.json:
-        print(comparison.to_json(indent=2))
-    else:
-        print(comparison.summary())
+        _emit_result(comparison, arguments, counterpoint)
     return 0 if comparison.feasible_models else 1
 
 
@@ -450,6 +442,106 @@ def cmd_errata_check(arguments):
     return 1
 
 
+def cmd_run(arguments):
+    """Execute (or price, with ``--dry-run``) a serialized plan."""
+    from repro.pipeline import CounterPoint
+    from repro.plan import Plan
+
+    with open(arguments.plan, "r", encoding="utf-8") as handle:
+        plan = Plan.from_json(handle.read())
+    with CounterPoint(
+        backend=arguments.backend,
+        confidence=arguments.confidence,
+        workers=arguments.workers,
+        cache_dir=arguments.cache_dir or None,
+    ) as counterpoint:
+        engine = counterpoint.plan_engine()
+        if arguments.dry_run:
+            report = engine.dry_run(plan)
+            if arguments.json:
+                print(report.to_json(indent=2))
+            else:
+                print(report.summary())
+            return 0
+        result = engine.run(plan)
+        _emit_result(result, arguments, counterpoint)
+    return 0
+
+
+def _plan_model(value):
+    """A model argument for plan authoring: a DSL file path (inlined as
+    source, so the plan stays self-contained) or a bundled name."""
+    import os
+
+    if os.path.exists(value):
+        with open(value, "r", encoding="utf-8") as handle:
+            return handle.read()
+    return value
+
+
+def _plan_dataset(arguments):
+    """The dataset spec a plan template sweeps over."""
+    if arguments.simulate_from:
+        return {"simulate": {
+            "model": _plan_model(arguments.simulate_from),
+            "n_observations": arguments.n_observations,
+            "n_uops": arguments.n_uops,
+            "seed": arguments.seed,
+        }}
+    return {"source": arguments.dataset, "scale": arguments.scale}
+
+
+def cmd_plan(arguments):
+    """Author a plan JSON from a template and bundled models/datasets."""
+    from repro.plan import Plan
+
+    models = [_plan_model(model) for model in arguments.models]
+    plan = Plan()
+    if arguments.template == "sweep":
+        if len(models) != 1:
+            raise ReproError("the sweep template takes exactly one model")
+        plan.sweep(models[0], dataset=_plan_dataset(arguments),
+                   explain=True, op_id="sweep")
+    elif arguments.template == "compare":
+        plan.compare(models, dataset=_plan_dataset(arguments),
+                     explain=True, op_id="ranking")
+    elif arguments.template == "cross-refute":
+        plan.cross_refute(models, n_observations=arguments.n_observations,
+                          n_uops=arguments.n_uops, seed=arguments.seed,
+                          explain=True, op_id="matrix")
+    else:  # closed-loop: the overlapping sweep+compare+matrix campaign
+        data = plan.simulate_dataset(
+            models[0], n_observations=arguments.n_observations,
+            n_uops=arguments.n_uops, seed=arguments.seed, op_id="data",
+        )
+        for index, model in enumerate(models[1:]):
+            plan.sweep(model, dataset=data, explain=True,
+                       op_id="refute%d" % index)
+        plan.compare(models, dataset=data, explain=True, op_id="ranking")
+        plan.cross_refute(models, n_observations=arguments.n_observations,
+                          n_uops=arguments.n_uops, seed=arguments.seed,
+                          explain=True, op_id="matrix")
+    text = plan.to_json(indent=2)
+    if arguments.output:
+        with open(arguments.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print("wrote %s (%d ops)" % (arguments.output, len(plan)))
+    else:
+        print(text)
+    return 0
+
+
+def cmd_show(arguments):
+    """Load any serialized result by its ``kind`` tag and render it."""
+    from repro.results import result_from_json
+
+    with open(arguments.result, "r", encoding="utf-8") as handle:
+        result = result_from_json(handle.read())
+    summary = getattr(result, "summary", None)
+    print(summary() if callable(summary) else repr(result))
+    return 0
+
+
 def _add_runtime_flags(subparser, workers_help):
     """The shared performance knobs (``--workers``, ``--cache-dir``)."""
     subparser.add_argument(
@@ -460,6 +552,14 @@ def _add_runtime_flags(subparser, workers_help):
         help="persistent on-disk model-cone cache: deduced cones are "
              "stored here and reused across runs and processes "
              "(computed once per model, ever)")
+
+
+def _add_stats_flag(subparser):
+    subparser.add_argument(
+        "--stats", action="store_true",
+        help="report session cache effectiveness (computed cells vs "
+             "memo/store hits); with --json, added as a top-level "
+             "session_stats key")
 
 
 def build_parser():
@@ -498,9 +598,12 @@ def build_parser():
         help="test an observation against a model",
         description="Test one observation — exact counter totals or a "
                     "perf interval CSV summarised as a confidence region — "
-                    "against a µDD model. Exit status: 0 feasible, "
-                    "1 infeasible (the observation refutes the model), "
-                    "2 usage error.",
+                    "against a µDD model. Runs through the pipeline "
+                    "session, so an infeasible verdict carries the full "
+                    "violated-constraint analysis (the report is memoized "
+                    "whole: with --cache-dir a repeat run is free). Exit "
+                    "status: 0 feasible, 1 infeasible (the observation "
+                    "refutes the model), 2 usage error.",
         epilog="examples:\n"
                "  python -m repro analyze model.dsl "
                "--observation load.causes_walk=5,load.pde\\$_miss=12\n"
@@ -522,10 +625,13 @@ def build_parser():
     analyze.add_argument("--independent", action="store_true",
                          help="use the independent-counter baseline region")
     analyze.add_argument("--violations", action="store_true",
-                         help="run full constraint deduction and list all violations")
+                         help="list every violated model constraint (computed "
+                              "for any infeasible verdict; this flag controls "
+                              "printing)")
     analyze.add_argument("--json", action="store_true",
                          help="emit the AnalysisReport result schema as JSON "
                               "(exit status semantics unchanged)")
+    _add_stats_flag(analyze)
     _add_runtime_flags(
         analyze,
         "process-pool size for sharded sweeps (a single-observation "
@@ -604,6 +710,7 @@ def build_parser():
         subparser.add_argument(
             "--json", action="store_true",
             help="emit the result schema as JSON")
+        _add_stats_flag(subparser)
 
     sweep = commands.add_parser(
         "sweep",
@@ -651,6 +758,106 @@ def build_parser():
     _add_runtime_flags(
         compare, "shard each model's sweep across N worker processes")
     compare.set_defaults(handler=cmd_compare)
+
+    run = commands.add_parser(
+        "run",
+        help="execute a declarative plan",
+        description="Execute a serialized repro.plan experiment spec: "
+                    "compile the whole campaign into one content-"
+                    "addressed task DAG, deduplicate overlapping ops "
+                    "globally, and run it — or price it first with "
+                    "--dry-run (task and cache estimates, no solving). "
+                    "With --cache-dir, interrupted runs resume: cells "
+                    "already answered by the artifact store are never "
+                    "recomputed. Exit status: 0 whenever the plan "
+                    "executes — a campaign's refutations are results, "
+                    "reported in the output, not failures; 2 usage error.",
+        epilog="examples:\n"
+               "  python -m repro run examples/plans/closed_loop.json\n"
+               "  python -m repro run plan.json --dry-run --json\n"
+               "  python -m repro run plan.json --workers 4 "
+               "--cache-dir .repro-cache --stats",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    run.add_argument("plan", help="plan JSON file (author one with "
+                                  "'python -m repro plan ...')")
+    run.add_argument("--backend", default="exact", choices=("exact", "scipy"),
+                     help="LP backend for every verdict in the plan")
+    run.add_argument("--confidence", type=float, default=0.99,
+                     help="confidence level for region-mode sweeps")
+    run.add_argument("--dry-run", action="store_true",
+                     help="report task counts, global-dedup savings, and "
+                          "cache estimates without simulating or solving")
+    run.add_argument("--json", action="store_true",
+                     help="emit the PlanResult (or dry-run report) schema "
+                          "as JSON")
+    _add_stats_flag(run)
+    _add_runtime_flags(
+        run, "shard simulations and pending verdict cells across N "
+             "worker processes")
+    run.set_defaults(handler=cmd_run)
+
+    plan = commands.add_parser(
+        "plan",
+        help="author a plan JSON from a template",
+        description="Write a repro.plan experiment spec from a template: "
+                    "'sweep' (one model over a dataset), 'compare' (rank "
+                    "a family), 'cross-refute' (the closed-loop matrix), "
+                    "or 'closed-loop' (simulate from the first model, "
+                    "sweep and rank every model over it, plus the full "
+                    "matrix — deliberately overlapping, so the planner's "
+                    "global deduplication does the sharing). Models are "
+                    "bundled names or DSL file paths (inlined as source, "
+                    "so the plan is self-contained).",
+        epilog="examples:\n"
+               "  python -m repro plan closed-loop "
+               "--models pde_refined pde_initial -o plan.json\n"
+               "  python -m repro plan compare --models pde_initial "
+               "pde_refined --simulate-from pde_refined\n"
+               "  python -m repro plan sweep --models model.dsl "
+               "--dataset noisy --scale 0.3",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    plan.add_argument("template",
+                      choices=("sweep", "compare", "cross-refute",
+                               "closed-loop"),
+                      help="campaign shape to generate")
+    plan.add_argument("--models", nargs="+", required=True,
+                      help="bundled model names or DSL file paths")
+    plan.add_argument("--dataset", choices=("standard", "noisy"),
+                      default="standard",
+                      help="bundled dataset for sweep/compare templates")
+    plan.add_argument("--scale", type=float, default=1.0,
+                      help="bundled-dataset workload scale factor")
+    plan.add_argument("--simulate-from", metavar="MODEL", default=None,
+                      help="sweep over a dataset simulated from this model "
+                           "instead of a bundled dataset")
+    plan.add_argument("--n-observations", type=int, default=3,
+                      help="simulated dataset size")
+    plan.add_argument("--n-uops", type=int, default=20000,
+                      help="µops per simulated observation")
+    plan.add_argument("--seed", type=int, default=0,
+                      help="base seed for simulated datasets")
+    plan.add_argument("-o", "--output",
+                      help="output .json path (stdout if omitted)")
+    plan.set_defaults(handler=cmd_plan)
+
+    show = commands.add_parser(
+        "show",
+        help="render any serialized result",
+        description="Load a serialized result of any kind — an "
+                    "AnalysisReport, ModelSweep, CompareResult, "
+                    "RefutationMatrix, a PlanResult bundle, a plan spec "
+                    "— by its schema's kind tag and print its summary.",
+        epilog="examples:\n"
+               "  python -m repro sweep model.dsl --json > sweep.json\n"
+               "  python -m repro show sweep.json\n"
+               "  python -m repro run plan.json --json > result.json\n"
+               "  python -m repro show result.json",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    show.add_argument("result", help="serialized result JSON file")
+    show.set_defaults(handler=cmd_show)
 
     simulate = commands.add_parser(
         "simulate",

@@ -309,3 +309,37 @@ def noisy_dataset(scale=1.0, n_physical=4, interval_ops=400, phase_jitter=0.9):
             )
         )
     return tuple(observations)
+
+
+def project_observations(observations, cone):
+    """Restrict dataset observations to a cone's counter scope.
+
+    The bundled hardware datasets carry the full 26-counter Haswell
+    space; a DSL model usually covers a subset. Like the perf-CSV
+    analysis path, the measurement is projected onto the model's
+    counters — a counter the model never mentions cannot refute it. A
+    counter the model *does* mention but the dataset lacks is an error.
+    """
+    from repro.errors import ReproError
+
+    observations = list(observations)
+    if not observations:
+        return observations
+    first = observations[0]
+    missing = [name for name in cone.counters if name not in first.totals]
+    if missing:
+        raise ReproError(
+            "dataset lacks model counters: %s" % ", ".join(missing)
+        )
+    if all(name in cone.counters for name in first.totals):
+        return observations
+    return [
+        Observation(
+            observation.name,
+            observation.page_size,
+            {name: observation.totals[name] for name in cone.counters},
+            observation.samples.subset(cone.counters),
+            meta=observation.meta,
+        )
+        for observation in observations
+    ]

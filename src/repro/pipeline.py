@@ -14,10 +14,14 @@ diagonal should be all-feasible and whose off-diagonal entries expose
 which mechanism hypotheses the data can distinguish.
 
 Analysis methods return the typed, JSON-serializable result objects of
-:mod:`repro.results` and route through the pipeline's
+:mod:`repro.results`. Each is a *one-op plan* executed by the
+pipeline's :class:`~repro.plan.engine.PlanEngine` through its
 :class:`~repro.results.session.AnalysisSession`, which memoizes each
 feasibility verdict by content — so re-analyzing a grown dataset or
-model family only tests the new cells (see ``session()``).
+model family only tests the new cells (see ``session()``). Multi-op
+:class:`~repro.plan.Plan` specs describe whole campaigns and run
+through the same engine (``run()``): overlapping ops deduplicate
+globally, dry runs price the work, and store-backed runs resume.
 """
 
 from repro.cone import ModelCone, ModelConeCache
@@ -101,6 +105,7 @@ class CounterPoint:
         self.workers = workers
         self._runner = None
         self._session = None
+        self._plan_engine = None
 
     def runner(self):
         """The pipeline's :class:`~repro.parallel.ParallelRunner`
@@ -132,6 +137,36 @@ class CounterPoint:
                 store = os.path.join(self.cache_dir, "artifacts")
             self._session = AnalysisSession(pipeline=self, store=store)
         return self._session
+
+    def plan_engine(self):
+        """The pipeline's :class:`~repro.plan.engine.PlanEngine`.
+
+        Every analysis method on this facade is a one-op plan run
+        through this engine; hand it a multi-op
+        :class:`~repro.plan.Plan` to schedule a whole experiment —
+        overlapping ops deduplicate globally through the session's
+        content-addressed memo, and ``dry_run`` prices a campaign
+        without solving.
+        """
+        if self._plan_engine is None:
+            from repro.plan import PlanEngine
+
+            self._plan_engine = PlanEngine(self)
+        return self._plan_engine
+
+    def run(self, plan, scheduler=None):
+        """Execute a :class:`~repro.plan.Plan` against this pipeline;
+        returns a :class:`~repro.plan.PlanResult` keyed by op id."""
+        return self.plan_engine().run(plan, scheduler=scheduler)
+
+    def _one_op(self, build):
+        """Run a single facade call as a one-op plan (the thin-facade
+        contract: identical results, one engine)."""
+        from repro.plan import Plan
+
+        plan = Plan()
+        op_id = build(plan)
+        return self.plan_engine().run(plan)[op_id]
 
     def close(self):
         """Shut down the lazily-built process pool (idempotent).
@@ -184,9 +219,12 @@ class CounterPoint:
         (the expensive constraint deduction runs only in that case,
         mirroring the paper) and — with ``explain`` — a Farkas
         certificate found at feasibility-test cost. Reports are
-        memoized by the pipeline's session.
+        memoized by the pipeline's session; the call itself is a one-op
+        plan over :meth:`plan_engine`.
         """
-        return self.session().analyze(model, observation, explain=explain)
+        return self._one_op(
+            lambda plan: plan.analyze(model, observation, explain=explain)
+        )
 
     # -- dataset sweeps -------------------------------------------------------
     def sweep(self, model, observations, use_regions=False, correlated=True,
@@ -219,14 +257,18 @@ class CounterPoint:
         refutation evidence in ``why``. Verdicts are memoized by
         content: re-sweeping a grown dataset only tests the new
         observations. With ``workers > 1`` the pending cells are
-        sharded across the process pool (identical results).
+        sharded across the process pool (identical results). The call
+        is a one-op plan over :meth:`plan_engine`.
         """
-        return self.session().sweep(
-            model,
-            observations,
-            use_regions=use_regions,
-            correlated=correlated,
-            explain=explain,
+        observations = list(observations)
+        return self._one_op(
+            lambda plan: plan.sweep(
+                model,
+                observations,
+                use_regions=use_regions,
+                correlated=correlated,
+                explain=explain,
+            )
         )
 
     def compare(self, models, observations, **sweep_options):
@@ -239,9 +281,13 @@ class CounterPoint:
         :class:`~repro.results.CompareResult` mapping model names to
         sweeps in model order; each sweep shards across the pool when
         ``workers > 1``, and only cells not already memoized are
-        tested.
+        tested. The call is a one-op plan over :meth:`plan_engine`.
         """
-        return self.session().compare(models, observations, **sweep_options)
+        models = list(models)
+        observations = list(observations)
+        return self._one_op(
+            lambda plan: plan.compare(models, observations, **sweep_options)
+        )
 
     # -- simulation (the closed loop) -----------------------------------------
     def simulate(self, model, n_uops=20000, **options):
@@ -291,20 +337,24 @@ class CounterPoint:
         cone); an off-diagonal infeasible entry means the candidate's
         mechanisms cannot explain the observed model's behaviour.
 
-        Row ``r`` simulates from seed ``seed + 1000 * r``. Serial runs
-        memoize every cell in the pipeline's session, so re-refuting a
-        grown model family re-tests only the new row and column. With
-        ``workers > 1`` the matrix shards by row across the process
-        pool — rows are independent — and verdict memoization moves to
-        the workers: set ``cache_dir`` so they share candidate cones
-        *and* memoized verdicts through the on-disk tiers (without it,
-        a pooled re-run recomputes the full matrix).
+        Row ``r`` simulates from seed ``seed + 1000 * r``. Every cell
+        is memoized in the pipeline's session, so re-refuting a grown
+        model family re-tests only the new row and column. With
+        ``workers > 1`` the row simulations and the pending verdict
+        cells shard across the process pool (identical results), and
+        ``cache_dir`` persists the memo across runs and processes. The
+        call is a one-op plan over :meth:`plan_engine` — the matrix,
+        a sweep, and a compare touching the same (cone, observation)
+        cell in one plan compute it exactly once.
         """
-        return self.session().cross_refute(
-            models,
-            n_observations=n_observations,
-            n_uops=n_uops,
-            weights=weights,
-            seed=seed,
-            explain=explain,
+        models = list(models)
+        return self._one_op(
+            lambda plan: plan.cross_refute(
+                models,
+                n_observations=n_observations,
+                n_uops=n_uops,
+                weights=weights,
+                seed=seed,
+                explain=explain,
+            )
         )

@@ -1,0 +1,46 @@
+"""Declarative analysis plans: whole experiments as data.
+
+``repro.plan`` turns the pipeline's imperative calls into a composable
+spec layer: a :class:`Plan` is a JSON-serializable list of ops
+(``analyze``, ``sweep``, ``compare``, ``cross_refute``,
+``simulate_dataset``) with dependency edges; the planner
+(:func:`compile_plan`) flattens it into one content-addressed DAG of
+simulation and verdict tasks with *global* deduplication — a sweep, a
+compare, and a cross-refutation that touch the same (cone, observation)
+cell schedule that cell exactly once — and :class:`PlanEngine` executes
+it with a pluggable scheduler (serial, process pool, or a dry run that
+prices the campaign without solving). Results come back as a keyed
+:class:`PlanResult` bundle of the existing :mod:`repro.results` types;
+runs sharing a ``cache_dir`` resume from the artifact store with only
+pending tasks re-executed.
+
+The facade is a client: ``CounterPoint.analyze`` / ``sweep`` /
+``compare`` / ``cross_refute`` are one-op plans over this engine, so
+anything expressible imperatively is expressible as data — and shareable,
+priceable, and resumable.
+"""
+
+from repro.plan.compiler import CompiledPlan, compile_plan
+from repro.plan.engine import (
+    DatasetSummary,
+    DryRunReport,
+    PlanEngine,
+    PlanResult,
+)
+from repro.plan.schedulers import PoolScheduler, SerialScheduler, scheduler_for
+from repro.plan.spec import OP_KINDS, Plan, PlanOp
+
+__all__ = [
+    "CompiledPlan",
+    "DatasetSummary",
+    "DryRunReport",
+    "OP_KINDS",
+    "Plan",
+    "PlanEngine",
+    "PlanOp",
+    "PlanResult",
+    "PoolScheduler",
+    "SerialScheduler",
+    "compile_plan",
+    "scheduler_for",
+]

@@ -1,0 +1,115 @@
+"""Pluggable execution strategies for compiled plans.
+
+A scheduler answers exactly two questions — how simulation tasks run,
+and how a batch of pending verdict cells is computed — so swapping one
+can never change results, only wall-clock:
+
+* :class:`SerialScheduler` — everything in-process, no pool, nothing
+  pickled. The reference semantics.
+* :class:`PoolScheduler` — simulation tasks shard by run index and
+  verdict batches shard by cell chunk across a
+  :class:`~repro.parallel.ParallelRunner` process pool, reusing the
+  exact entry points the facade's ``workers=N`` path has always used
+  (pooled results are bit-for-bit equal to serial ones).
+* the dry-run path (:meth:`repro.plan.engine.PlanEngine.dry_run`) runs
+  no scheduler at all — it prices the compiled DAG without simulating
+  or solving.
+
+Engines pick a default with :func:`scheduler_for` (pool when the
+pipeline is parallel, serial otherwise); pass one explicitly to
+override, e.g. forcing a serial run on a ``workers=8`` pipeline.
+"""
+
+
+class SerialScheduler:
+    """Run every task in-process (the reference execution)."""
+
+    def simulate(self, pipeline, task):
+        from repro.sim import simulate_dataset
+
+        return simulate_dataset(
+            task.model,
+            task.n_observations,
+            n_uops=task.n_uops,
+            weights=task.weights,
+            seed=task.seed,
+            noisy=task.noisy,
+        )
+
+    def compute(self, session, cone, targets, use_regions, explain):
+        from repro.results.session import compute_cell_verdicts
+
+        return compute_cell_verdicts(
+            cone,
+            targets,
+            backend=session.pipeline.backend,
+            use_regions=use_regions,
+            explain=explain,
+        )
+
+    def __repr__(self):
+        return "SerialScheduler()"
+
+
+class PoolScheduler(SerialScheduler):
+    """Shard simulations and verdict batches across a process pool.
+
+    Parameters
+    ----------
+    runner:
+        The :class:`~repro.parallel.ParallelRunner` to dispatch on;
+        ``None`` uses the pipeline's own (so the pool is shared with
+        every other sharded workload and reaped by ``close()``).
+    """
+
+    def __init__(self, runner=None):
+        self.runner = runner
+
+    def _runner(self, pipeline):
+        return self.runner if self.runner is not None else pipeline.runner()
+
+    def simulate(self, pipeline, task):
+        from repro.parallel import parallel_simulate_dataset
+
+        return parallel_simulate_dataset(
+            self._runner(pipeline),
+            task.model,
+            task.n_observations,
+            n_uops=task.n_uops,
+            weights=task.weights,
+            seed=task.seed,
+            noisy=task.noisy,
+        )
+
+    def compute(self, session, cone, targets, use_regions, explain):
+        if len(targets) <= 1:
+            return SerialScheduler.compute(
+                self, session, cone, targets, use_regions, explain
+            )
+        # Imported at call time, like the session's own parallel path,
+        # so tests patching the module attribute see every dispatch.
+        from repro.parallel.tasks import dispatch_verdicts
+
+        pipeline = session.pipeline
+        return dispatch_verdicts(
+            self._runner(pipeline),
+            cone,
+            targets,
+            backend=pipeline.backend,
+            use_regions=use_regions,
+            explain=explain,
+        )
+
+    def __repr__(self):
+        return "PoolScheduler(%r)" % (self.runner,)
+
+
+def scheduler_for(pipeline):
+    """The default scheduler for a pipeline: pool when the pipeline is
+    parallel (``workers > 1`` or ``None``), serial otherwise."""
+    if pipeline._parallel():
+        return PoolScheduler()
+    return SerialScheduler()
+
+
+__all__ = ["PoolScheduler", "SerialScheduler", "scheduler_for"]

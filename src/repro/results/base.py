@@ -162,9 +162,11 @@ def result_from_dict(data):
     kind = data["kind"]
     cls = _REGISTRY.get(kind)
     if cls is None:
-        # Result types living outside this package (the explore layer)
-        # register on import; pull them in before giving up.
+        # Result types living outside this package (the explore and
+        # plan layers) register on import; pull them in before giving
+        # up.
         import repro.explore.search  # noqa: F401
+        import repro.plan  # noqa: F401
 
         cls = _REGISTRY.get(kind)
     if cls is None:

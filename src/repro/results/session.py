@@ -218,15 +218,23 @@ class AnalysisSession:
 
     # -- sweeps ------------------------------------------------------------
     def sweep(self, model, observations, use_regions=False, correlated=True,
-              explain=False):
+              explain=False, compute=None):
         """Evaluate a model against a dataset, testing only new cells.
 
         Identical contract to :meth:`repro.pipeline.CounterPoint.sweep`
-        (which routes here); cells already answered by this session —
-        or by any earlier run sharing the store — are served from the
-        memo. Returns a :class:`~repro.results.types.ModelSweep` whose
-        ``why`` carries refutation evidence (guaranteed per infeasible
-        cell with ``explain``, best-effort otherwise).
+        (which routes here through the plan engine); cells already
+        answered by this session — or by any earlier run sharing the
+        store — are served from the memo. Returns a
+        :class:`~repro.results.types.ModelSweep` whose ``why`` carries
+        refutation evidence (guaranteed per infeasible cell with
+        ``explain``, best-effort otherwise).
+
+        ``compute`` overrides how the pending batch is solved — a
+        callable ``(cone, targets, use_regions, explain) -> verdicts``.
+        The plan engine's pluggable schedulers hook in here; the
+        default is the session's own serial-or-pool dispatch. Lookup,
+        recording, and statistics stay with the session either way, so
+        an override can change wall-clock but never memo semantics.
         """
         pipeline = self.pipeline
         cone = pipeline.model_cone(model)
@@ -252,7 +260,9 @@ class AnalysisSession:
                 self._target(observations[index], use_regions, correlated)
                 for index, _ in pending
             ]
-            computed = self._compute(cone, targets, use_regions, explain)
+            if compute is None:
+                compute = self._compute
+            computed = compute(cone, targets, use_regions, explain)
             self.stats.tests += len(pending)
             for (index, key), verdict in zip(pending, computed):
                 self._record(key, verdict)

@@ -69,13 +69,13 @@ def test_top_level_help_lists_all_commands():
     output = _help_output()
     for command in (
         "constraints", "analyze", "sweep", "compare", "render",
-        "case-study", "simulate", "errata-check",
+        "case-study", "simulate", "errata-check", "run", "plan", "show",
     ):
         assert command in output
 
 
 @pytest.mark.parametrize(
-    "command", ["analyze", "simulate", "case-study", "sweep", "compare"]
+    "command", ["analyze", "simulate", "case-study", "sweep", "compare", "run"]
 )
 def test_subcommand_help_documents_runtime_flags(command):
     output = _help_output(command)
@@ -84,12 +84,21 @@ def test_subcommand_help_documents_runtime_flags(command):
     assert "example" in output  # every subcommand help carries examples
 
 
-@pytest.mark.parametrize("command", ["analyze", "sweep", "compare", "case-study"])
+@pytest.mark.parametrize(
+    "command", ["analyze", "sweep", "compare", "case-study", "run"]
+)
 def test_analysis_subcommands_offer_json_output(command):
     assert "--json" in _help_output(command)
 
 
-@pytest.mark.parametrize("command", ["constraints", "render", "errata-check"])
+@pytest.mark.parametrize("command", ["analyze", "sweep", "compare", "run"])
+def test_analysis_subcommands_offer_session_stats(command):
+    assert "--stats" in _help_output(command)
+
+
+@pytest.mark.parametrize(
+    "command", ["constraints", "render", "errata-check", "plan", "show"]
+)
 def test_subcommand_help_has_description_and_example(command):
     output = _help_output(command)
     assert "example" in output
@@ -110,3 +119,61 @@ def test_quickstart_example_runs():
         timeout=300,
     )
     assert result.returncode == 0, result.stderr
+
+
+# Every example that builds a CounterPoint pipeline. The exhaustiveness
+# test below keeps this list honest when examples are added.
+_PIPELINE_EXAMPLES = [
+    "closed_loop_refutation.py",
+    "haswell_case_study.py",
+    "prefetcher_discovery.py",
+    "quickstart.py",
+]
+
+
+def test_pipeline_example_list_is_exhaustive():
+    examples_dir = os.path.join(REPO_ROOT, "examples")
+    for name in sorted(os.listdir(examples_dir)):
+        if not name.endswith(".py"):
+            continue
+        with open(os.path.join(examples_dir, name), "r", encoding="utf-8") as handle:
+            constructs = "CounterPoint(" in handle.read()
+        assert constructs == (name in _PIPELINE_EXAMPLES), (
+            "%s %s CounterPoint but is %slisted in _PIPELINE_EXAMPLES"
+            % (name, "constructs" if constructs else "does not construct",
+               "not " if constructs else "")
+        )
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("example", _PIPELINE_EXAMPLES)
+def test_examples_leave_no_live_pool(example, monkeypatch):
+    """Every example pipeline is closed (the context-manager contract):
+    after an example's `main()` returns, no CounterPoint it constructed
+    may still hold a process pool."""
+    import repro
+    import repro.pipeline
+    from repro.pipeline import CounterPoint
+
+    instances = []
+
+    class TrackedCounterPoint(CounterPoint):
+        def __init__(self, *args, **kwargs):
+            super().__init__(*args, **kwargs)
+            instances.append(self)
+
+    # Examples import the facade from either surface.
+    monkeypatch.setattr(repro, "CounterPoint", TrackedCounterPoint)
+    monkeypatch.setattr(repro.pipeline, "CounterPoint", TrackedCounterPoint)
+    path = os.path.join(REPO_ROOT, "examples", example)
+    # Examples with argument parsers must see their own argv, not
+    # pytest's.
+    monkeypatch.setattr(sys, "argv", [path])
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    exec(compile(source, path, "exec"), {"__name__": "__main__"})
+    assert instances, "%s constructs no CounterPoint?" % (example,)
+    for instance in instances:
+        assert instance._runner is None, (
+            "%s left a live worker pool on %r" % (example, instance)
+        )

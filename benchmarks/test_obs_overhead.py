@@ -1,0 +1,70 @@
+"""Tracing-disabled overhead: the observability tax must stay ~zero.
+
+Every instrumentation point added by :mod:`repro.obs` guards on
+``tracer.enabled``, so an untraced run pays one attribute check per
+point and nothing else. This benchmark times the hottest instrumented
+path — a warm 100-cell sweep, pure memo lookups wrapped in would-be
+``session.sweep`` / ``cell.verdict`` spans — with the default disabled
+tracer, and asserts the median against the committed baseline in
+``BENCH_baseline.json`` (skipped when no baseline entry exists yet, so
+new machines can record one first). A regression here means an
+instrumentation point started doing work while disabled.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cone import ModelCone
+from repro.obs import get_tracer
+from repro.pipeline import CounterPoint
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE_PATH = os.path.join(REPO_ROOT, "BENCH_baseline.json")
+BASELINE_KEY = (
+    "benchmarks/test_obs_overhead.py::test_warm_sweep_tracing_disabled"
+)
+
+#: Headroom over the committed baseline median before the assertion
+#: fires: CI machines vary widely, the *shape* of a regression (a
+#: disabled instrumentation point doing real work) does not.
+BASELINE_FACTOR = 25.0
+
+
+class Obs:
+    def __init__(self, name, point):
+        self.name = name
+        self._point = dict(point)
+
+    def point(self):
+        return dict(self._point)
+
+
+def _baseline_median():
+    try:
+        with open(BASELINE_PATH, "r", encoding="utf-8") as handle:
+            return json.load(handle).get(BASELINE_KEY)
+    except (OSError, ValueError):
+        return None
+
+
+def test_warm_sweep_tracing_disabled(benchmark):
+    cone = ModelCone(["a", "b"], [(1, 0), (1, 1)], name="tiny")
+    observations = [
+        Obs("o%03d" % index, {"a": 5 + index, "b": 2})
+        for index in range(100)
+    ]
+    with CounterPoint(backend="scipy") as pipeline:
+        pipeline.sweep(cone, observations)  # warm the memo
+        assert get_tracer().enabled is False
+        result = benchmark(pipeline.sweep, cone, observations)
+    assert result.feasible
+    baseline = _baseline_median()
+    if baseline is None:
+        pytest.skip("no committed baseline for %s" % BASELINE_KEY)
+    assert benchmark.stats.stats.median < baseline * BASELINE_FACTOR, (
+        "warm traced-but-disabled sweep regressed: median %.6fs vs "
+        "baseline %.6fs (x%.0f allowed)"
+        % (benchmark.stats.stats.median, baseline, BASELINE_FACTOR)
+    )

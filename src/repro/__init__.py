@@ -41,6 +41,7 @@ from repro.pipeline import CounterPoint
 from repro.cone import DiskConeCache, ModelCone
 from repro.dsl import compile_dsl
 from repro.mudd import MuDD
+from repro.obs import MetricsRegistry, Tracer, activate, get_tracer, traced
 from repro.parallel import ParallelRunner
 from repro.plan import Plan, PlanEngine, PlanResult
 from repro.results import (
@@ -74,6 +75,7 @@ __all__ = [
     "CounterPoint",
     "DiskConeCache",
     "MMUOracle",
+    "MetricsRegistry",
     "ModelCone",
     "ModelSweep",
     "MuDD",
@@ -85,11 +87,15 @@ __all__ = [
     "PointRegion",
     "RandomOracle",
     "RefutationMatrix",
+    "Tracer",
+    "activate",
     "batch_simulate",
     "closed_loop",
     "compile_dsl",
+    "get_tracer",
     "result_from_dict",
     "result_from_json",
     "simulate_observation",
+    "traced",
     "__version__",
 ]

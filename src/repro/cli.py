@@ -31,6 +31,10 @@ Commands
 ``show <result.json>``
     Load any serialized result by its ``kind`` tag and print its
     summary — including ``PlanResult`` bundles.
+``trace summarize <trace.jsonl>``
+    Reduce a ``--trace`` JSONL file to a plain-text breakdown: span
+    totals, cache hit-rates per tier, and the LP solve-time histogram
+    (``--json`` emits the summary dict instead).
 ``simulate <model.dsl | --bundled name> [--n-uops N] [--traces T]``
     Execute a µDD with the :mod:`repro.sim` engine and print synthetic
     counter totals. ``--weight Prop=Value:W`` biases branch choices,
@@ -53,6 +57,15 @@ processes; ``--workers N`` shards dataset sweeps across a process pool
 stable :mod:`repro.results` schema instead of text, and ``analyze`` /
 ``sweep`` / ``compare`` / ``run`` accept ``--stats`` to report session
 cache effectiveness (computed cells vs memo/store hits).
+
+Every command also accepts ``--trace FILE`` / ``--trace-format
+{jsonl,chrome}`` (:mod:`repro.obs`): the whole invocation runs under an
+enabled tracer — LP solves, cone deduction, verdicts, simulation,
+scheduler dispatch, cache hits and evictions, including spans recorded
+inside ``--workers`` pool processes — and the merged timeline is
+written on exit, even when the command fails. ``jsonl`` is the archive
+format ``trace summarize`` reads; ``chrome`` loads directly in
+Perfetto / ``chrome://tracing``.
 """
 
 import argparse
@@ -531,6 +544,21 @@ def cmd_plan(arguments):
     return 0
 
 
+def cmd_trace_summarize(arguments):
+    """Reduce a ``--trace`` JSONL file to the stable summary table."""
+    import json
+
+    from repro.obs import read_jsonl, render_summary, summarize_records
+
+    records, metrics = read_jsonl(arguments.trace_file)
+    summary = summarize_records(records, metrics=metrics)
+    if arguments.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(render_summary(summary, top=arguments.top), end="")
+    return 0
+
+
 def cmd_show(arguments):
     """Load any serialized result by its ``kind`` tag and render it."""
     from repro.results import result_from_json
@@ -552,6 +580,21 @@ def _add_runtime_flags(subparser, workers_help):
         help="persistent on-disk model-cone cache: deduced cones are "
              "stored here and reused across runs and processes "
              "(computed once per model, ever)")
+
+
+def _add_trace_flags(subparser):
+    """The shared observability knobs (``--trace``, ``--trace-format``),
+    attached to every command by :func:`build_parser`."""
+    subparser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="record a span/event trace of this invocation (LP solves, "
+             "cone deduction, verdicts, simulation, cache activity — "
+             "including pool workers) and write it here on exit")
+    subparser.add_argument(
+        "--trace-format", choices=("jsonl", "chrome"), default="jsonl",
+        help="trace file format: jsonl (read by 'repro trace "
+             "summarize') or chrome (load in Perfetto or "
+             "chrome://tracing)")
 
 
 def _add_stats_flag(subparser):
@@ -914,14 +957,78 @@ def build_parser():
                         help="comma-separated counter names (paper-style)")
     errata.add_argument("--smt", action="store_true", help="SMT enabled")
     errata.set_defaults(handler=cmd_errata_check)
+
+    trace = commands.add_parser(
+        "trace",
+        help="inspect --trace files",
+        description="Tooling for the trace files every command records "
+                    "with --trace: 'summarize' reduces a JSONL trace to "
+                    "a plain-text breakdown of span totals, cache "
+                    "hit-rates per tier, and the LP solve-time "
+                    "histogram.",
+        epilog="examples:\n"
+               "  python -m repro run plan.json --trace run.jsonl\n"
+               "  python -m repro trace summarize run.jsonl\n"
+               "  python -m repro trace summarize run.jsonl --json",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    trace_commands = trace.add_subparsers(dest="trace_command",
+                                          required=True)
+    summarize = trace_commands.add_parser(
+        "summarize",
+        help="reduce a JSONL trace to a breakdown table",
+        description="Load a JSONL trace file (validating its schema) "
+                    "and print span totals, phase counts, cache "
+                    "hit-rates per tier, and the LP solve-time "
+                    "histogram.",
+    )
+    summarize.add_argument("trace_file", help="JSONL trace file "
+                                              "(from --trace)")
+    summarize.add_argument("--top", type=int, default=15,
+                           help="span rows to show (by cumulative time)")
+    summarize.add_argument("--json", action="store_true",
+                           help="emit the summary dict as JSON instead "
+                                "of the table")
+    summarize.set_defaults(handler=cmd_trace_summarize)
+
+    # Every command records: --trace/--trace-format are universal, like
+    # --help. (Except the trace tooling itself, which reads trace files
+    # rather than producing them.)
+    for name, subcommand in commands.choices.items():
+        if name != "trace":
+            _add_trace_flags(subcommand)
     return parser
+
+
+def _run_traced(arguments):
+    """Run a command handler, honouring ``--trace``.
+
+    The tracer is process-wide for the handler's extent — every layer
+    (and every pool worker, via the shipped-records protocol) records
+    into it — and the trace file is written on *every* exit path, so a
+    failing run still leaves its timeline behind for diagnosis.
+    """
+    trace_path = getattr(arguments, "trace", None)
+    if not trace_path:
+        return arguments.handler(arguments)
+    from repro.obs import Tracer, activate, write_trace
+
+    tracer = Tracer()
+    try:
+        with activate(tracer):
+            return arguments.handler(arguments)
+    finally:
+        write_trace(trace_path, tracer.drain(),
+                    metrics=tracer.metrics.as_dict(),
+                    fmt=arguments.trace_format)
+        print("wrote trace to %s" % trace_path, file=sys.stderr)
 
 
 def main(argv=None):
     parser = build_parser()
     arguments = parser.parse_args(argv)
     try:
-        return arguments.handler(arguments)
+        return _run_traced(arguments)
     except ReproError as error:
         print("error: %s" % error, file=sys.stderr)
         return 2

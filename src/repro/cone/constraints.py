@@ -20,6 +20,7 @@ feasibility testing never calls this code.
 
 from repro.errors import AnalysisError
 from repro.geometry import Cone, EQUALITY, INEQUALITY
+from repro.obs.trace import get_tracer
 
 # Generator counts at or below this skip the LP interior-removal screen:
 # the per-LP fixed cost exceeds what double description saves on inputs
@@ -182,19 +183,25 @@ def deduce_constraints(signatures, counters, remove_interior=True, lp_backend="s
     :class:`ConstraintSet` with equalities first, then facet
     inequalities.
     """
-    full_cone = Cone(signatures, ambient_dim=len(counters))
-    if remove_interior and len(full_cone.generators) > _REMOVAL_THRESHOLD:
-        kept = full_cone.irredundant_generators(backend=lp_backend)
-        facets = _facets_with_verification(full_cone, kept, len(counters))
-    else:
-        facets = full_cone.facet_constraints()
-    ordered = [f for f in facets if f.kind == EQUALITY] + [
-        f for f in facets if f.kind == INEQUALITY
-    ]
-    return ConstraintSet(
-        [ModelConstraint(f, counters) for f in ordered],
-        counters,
-    )
+    tracer = get_tracer()
+    with tracer.span(
+        "cone.deduce", signatures=len(signatures), counters=len(counters)
+    ) as span:
+        full_cone = Cone(signatures, ambient_dim=len(counters))
+        if remove_interior and len(full_cone.generators) > _REMOVAL_THRESHOLD:
+            with tracer.span("cone.interior_removal"):
+                kept = full_cone.irredundant_generators(backend=lp_backend)
+            facets = _facets_with_verification(full_cone, kept, len(counters))
+        else:
+            facets = full_cone.facet_constraints()
+        ordered = [f for f in facets if f.kind == EQUALITY] + [
+            f for f in facets if f.kind == INEQUALITY
+        ]
+        span.set(constraints=len(ordered))
+        return ConstraintSet(
+            [ModelConstraint(f, counters) for f in ordered],
+            counters,
+        )
 
 
 def _facets_with_verification(full_cone, kept, ambient_dim):

@@ -22,14 +22,19 @@ Design points:
 * **Corruption tolerance.** Any unpickling failure — truncated file,
   foreign bytes, a class that moved — degrades to a miss and recompute.
 * **LRU size cap.** File mtimes double as recency; after each write the
-  directory is pruned oldest-first down to ``max_bytes``.
+  directory is pruned oldest-first down to ``max_bytes``. Recency
+  stamps are ratcheted per instance (never below the last stamp this
+  process wrote), so a backwards wall-clock step cannot reorder this
+  process's own recency and evict the wrong entries.
 """
 
 import os
 import pickle
 import tempfile
+import time
 
 from repro.errors import AnalysisError
+from repro.obs.trace import get_tracer
 
 #: Bump when the on-disk payload layout or the pickled classes change
 #: incompatibly; old entries are then recomputed instead of trusted.
@@ -68,6 +73,10 @@ class DiskConeCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        # Highest recency stamp this instance has written; _touch
+        # ratchets against it so recency stays strictly increasing even
+        # if the wall clock steps backwards (NTP, VM migration).
+        self._recency_clock = 0.0
         os.makedirs(self.cache_dir, exist_ok=True)
 
     # -- key/path plumbing -------------------------------------------------
@@ -91,13 +100,13 @@ class DiskConeCache:
             with open(path, "rb") as handle:
                 payload = pickle.load(handle)
         except FileNotFoundError:
-            self.misses += 1
+            self._miss()
             return None
         except Exception:
             # Torn write from a dead process, foreign bytes, moved
             # classes: recompute rather than crash, and drop the file.
             self._discard(path)
-            self.misses += 1
+            self._miss()
             return None
         if (
             not isinstance(payload, dict)
@@ -105,11 +114,27 @@ class DiskConeCache:
             or payload.get("key") != tuple(key)
         ):
             self._discard(path)
-            self.misses += 1
+            self._miss()
             return None
         self._touch(path)
         self.hits += 1
+        tracer = get_tracer()
+        if tracer.enabled:
+            try:
+                size = os.path.getsize(path)
+            except OSError:
+                size = 0
+            tracer.event("cache.hit", tier="cone", bytes=size)
+            tracer.metrics.counter("cache.cone.hits").inc()
+            tracer.metrics.counter("cache.cone.bytes_read").inc(size)
         return payload["cone"]
+
+    def _miss(self):
+        self.misses += 1
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event("cache.miss", tier="cone")
+            tracer.metrics.counter("cache.cone.misses").inc()
 
     def put(self, key, cone):
         """Atomically publish ``cone`` under ``key`` and prune to cap."""
@@ -125,6 +150,12 @@ class DiskConeCache:
         except BaseException:
             self._discard(temp_path)
             raise
+        self._touch(self._path(key))
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event("cache.write", tier="cone", bytes=len(data))
+            tracer.metrics.counter("cache.cone.writes").inc()
+            tracer.metrics.counter("cache.cone.bytes_written").inc(len(data))
         self.prune()
 
     def __contains__(self, key):
@@ -172,8 +203,6 @@ class DiskConeCache:
         Only files older than ``max_age`` go: a *young* temp file may
         belong to a concurrent writer that is about to publish it.
         """
-        import time
-
         now = time.time()
         for path in self._temp_files():
             try:
@@ -199,12 +228,19 @@ class DiskConeCache:
         if total <= self.max_bytes:
             return
         stats.sort()  # oldest mtime first
+        tracer = get_tracer()
         for _, size, path in stats:
             if total <= self.max_bytes:
                 break
             if self._discard(path):
                 self.evictions += 1
                 total -= size
+                if tracer.enabled:
+                    tracer.event(
+                        "cache.evict", tier="cone",
+                        entry=os.path.basename(path), bytes=size,
+                    )
+                    tracer.metrics.counter("cache.cone.evictions").inc()
 
     def clear(self):
         """Remove every entry and temp file (counters are kept)."""
@@ -212,10 +248,15 @@ class DiskConeCache:
             self._discard(path)
         self._sweep_stale_temps(max_age=0.0)
 
-    @staticmethod
-    def _touch(path):
+    def _touch(self, path):
+        # Recency must be monotonic within this instance: a plain
+        # os.utime uses the wall clock, which can step backwards and
+        # make a just-used entry look LRU-oldest. Ratchet the stamp so
+        # every touch/publish orders after the previous one.
+        stamp = max(time.time(), self._recency_clock + 1e-6)
+        self._recency_clock = stamp
         try:
-            os.utime(path)
+            os.utime(path, (stamp, stamp))
         except OSError:
             pass
 

@@ -33,6 +33,7 @@ from fractions import Fraction
 from repro.errors import AnalysisError
 from repro.lp import EQ, GE, LE, LinearProgram, Status, solve
 from repro.linalg import as_fraction_vector
+from repro.obs.trace import get_tracer
 
 
 class FeasibilityResult:
@@ -103,9 +104,15 @@ def _point_feasibility_scipy(model_cone, vector):
     """
     from repro.lp import highs_fast
 
+    tracer = get_tracer()
     model = model_cone.flow_model()
     if model is not None:
-        status = model.solve([float(value) for value in vector])
+        with tracer.span("lp.solve", backend="highs_fast") as span:
+            status = model.solve([float(value) for value in vector])
+            if tracer.enabled:
+                tracer.metrics.histogram("lp.solve_seconds").observe(
+                    span.duration
+                )
         if status == highs_fast.OPTIMAL:
             return FeasibilityResult(
                 True, flows=model.solution(), witness=list(vector)
@@ -118,13 +125,18 @@ def _point_feasibility_scipy(model_cone, vector):
     from scipy.optimize import linprog
 
     matrix = model_cone.signature_array()
-    result = linprog(
-        np.zeros(matrix.shape[1]),
-        A_eq=matrix,
-        b_eq=np.asarray([float(value) for value in vector]),
-        bounds=(0, None),
-        method="highs",
-    )
+    with tracer.span("lp.solve", backend="scipy") as span:
+        result = linprog(
+            np.zeros(matrix.shape[1]),
+            A_eq=matrix,
+            b_eq=np.asarray([float(value) for value in vector]),
+            bounds=(0, None),
+            method="highs",
+        )
+        if tracer.enabled:
+            tracer.metrics.histogram("lp.solve_seconds").observe(
+                span.duration
+            )
     if result.status in (2, 3):
         return FeasibilityResult(False)
     if not result.success:
@@ -189,30 +201,33 @@ def test_region_feasibility(model_cone, region, backend="exact"):
     boxes = list(region.box_constraints())
     if not boxes:
         raise AnalysisError("region provided no box constraints")
-    lp, flow_names, counter_names = _flow_lp(model_cone)
-    n = len(model_cone.counters)
-    for direction, lower, upper in boxes:
-        direction = as_fraction_vector(direction)
-        if len(direction) != n:
-            raise AnalysisError(
-                "region direction has %d components for %d counters"
-                % (len(direction), n)
-            )
-        coefficients = {
-            counter_names[coord]: direction[coord]
-            for coord in range(n)
-            if direction[coord] != 0
-        }
-        if not coefficients:
-            continue
-        lp.add_constraint(coefficients, GE, Fraction(lower))
-        lp.add_constraint(coefficients, LE, Fraction(upper))
-    result = solve(lp, backend=backend)
-    if result.status != Status.OPTIMAL:
-        return FeasibilityResult(False)
-    flows = [result.assignment[name] for name in flow_names]
-    witness = [result.assignment[name] for name in counter_names]
-    return FeasibilityResult(True, flows=flows, witness=witness)
+    with get_tracer().span("cell.verdict", mode="region") as span:
+        lp, flow_names, counter_names = _flow_lp(model_cone)
+        n = len(model_cone.counters)
+        for direction, lower, upper in boxes:
+            direction = as_fraction_vector(direction)
+            if len(direction) != n:
+                raise AnalysisError(
+                    "region direction has %d components for %d counters"
+                    % (len(direction), n)
+                )
+            coefficients = {
+                counter_names[coord]: direction[coord]
+                for coord in range(n)
+                if direction[coord] != 0
+            }
+            if not coefficients:
+                continue
+            lp.add_constraint(coefficients, GE, Fraction(lower))
+            lp.add_constraint(coefficients, LE, Fraction(upper))
+        result = solve(lp, backend=backend)
+        if result.status != Status.OPTIMAL:
+            span.set(feasible=False)
+            return FeasibilityResult(False)
+        flows = [result.assignment[name] for name in flow_names]
+        witness = [result.assignment[name] for name in counter_names]
+        span.set(feasible=True)
+        return FeasibilityResult(True, flows=flows, witness=witness)
 
 
 def test_points_feasibility(model_cone, observations, backend="exact", screen="auto"):
@@ -249,16 +264,25 @@ def test_points_feasibility(model_cone, observations, backend="exact", screen="a
     constraints = None
     if screen == "always" or (screen == "auto" and model_cone.has_deduced_constraints()):
         constraints = model_cone.constraints()
+    tracer = get_tracer()
     results = []
     for observation, vector in zip(observations, vectors):
-        certificate = None
-        if constraints is not None:
-            for constraint in constraints:
-                if not constraint.is_satisfied_by(vector):
-                    certificate = constraint
-                    break
-        if certificate is not None:
-            results.append(FeasibilityResult(False, certificate=certificate))
-            continue
-        results.append(test_point_feasibility(model_cone, vector, backend=backend))
+        with tracer.span("cell.verdict", mode="point") as span:
+            certificate = None
+            if constraints is not None:
+                for constraint in constraints:
+                    if not constraint.is_satisfied_by(vector):
+                        certificate = constraint
+                        break
+            if certificate is not None:
+                span.set(feasible=False, screened=True)
+                results.append(
+                    FeasibilityResult(False, certificate=certificate)
+                )
+                continue
+            result = test_point_feasibility(
+                model_cone, vector, backend=backend
+            )
+            span.set(feasible=result.feasible, screened=False)
+            results.append(result)
     return results

@@ -40,6 +40,7 @@ behaviour the paper reports for constraint deduction (Figure 9b).
 
 from repro.errors import GeometryError
 from repro.linalg import bareiss_rank, bareiss_solve, int_dot, int_row
+from repro.obs.trace import traced
 
 try:
     _popcount = int.bit_count  # Python >= 3.10
@@ -153,6 +154,7 @@ def _adjacent_bitset(matrix, dim, masks, p, n):
     return True
 
 
+@traced("geometry.double_description")
 def extreme_rays(inequalities, adjacency="bitset"):
     """Extreme rays of the pointed cone ``{x : A x >= 0}``.
 

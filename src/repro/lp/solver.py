@@ -6,6 +6,7 @@ The default backend is the exact rational simplex; pass
 """
 
 from repro.errors import LPError
+from repro.obs.trace import get_tracer
 
 
 class Status:
@@ -55,14 +56,25 @@ def solve(program, backend="exact"):
     backend:
         ``"exact"`` (rational simplex, default) or ``"scipy"`` (HiGHS).
     """
-    if backend == "exact":
-        from repro.lp.simplex import solve_exact
+    tracer = get_tracer()
+    with tracer.span(
+        "lp.solve", backend=backend,
+        variables=len(program.variables),
+        constraints=len(program.constraints),
+    ) as span:
+        if backend == "exact":
+            from repro.lp.simplex import solve_exact
 
-        status, assignment, objective = solve_exact(program)
-    elif backend == "scipy":
-        from repro.lp.scipy_backend import solve_scipy
+            status, assignment, objective = solve_exact(program)
+        elif backend == "scipy":
+            from repro.lp.scipy_backend import solve_scipy
 
-        status, assignment, objective = solve_scipy(program)
-    else:
-        raise LPError("unknown LP backend %r" % (backend,))
+            status, assignment, objective = solve_scipy(program)
+        else:
+            raise LPError("unknown LP backend %r" % (backend,))
+        span.set(status=status)
+        if tracer.enabled:
+            tracer.metrics.histogram("lp.solve_seconds").observe(
+                span.duration
+            )
     return SolveResult(status, assignment, objective)

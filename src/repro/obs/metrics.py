@@ -1,0 +1,191 @@
+"""Counters, gauges, and fixed-bucket histograms.
+
+The runtime telemetry substrate behind :mod:`repro.obs`: every
+:class:`~repro.obs.trace.Tracer` owns a :class:`MetricsRegistry`, the
+instrumented layers feed it (LP solve-time histograms, cache hit/miss/
+byte counters, per-worker task counts), and
+:class:`~repro.results.session.SessionStats` is now a thin facade over
+one — the four incrementality counters the tests are stated in are
+registry counters with the same names and arithmetic.
+
+Snapshots (:meth:`MetricsRegistry.as_dict`) are plain JSON-serializable
+dicts: sinks append them to trace files, pool workers ship them back
+with their results, and :meth:`MetricsRegistry.absorb` merges a
+worker's snapshot into the parent registry (counters and histogram
+buckets add; gauges take the incoming value).
+"""
+
+from repro.errors import AnalysisError
+
+#: Default histogram buckets for solve/compute durations, in seconds.
+#: Fixed so histograms from different runs and workers merge bucket-
+#: for-bucket.
+TIME_BUCKETS = (
+    0.0001, 0.0003, 0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0, 3.0,
+)
+
+
+class Counter:
+    """A monotonically-increasing count (resettable for facades)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount=1):
+        self.value += amount
+        return self.value
+
+    def __repr__(self):
+        return "Counter(%r, %d)" % (self.name, self.value)
+
+
+class Gauge:
+    """A point-in-time value (pool size, bytes on disk, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def set(self, value):
+        self.value = value
+        return self.value
+
+    def __repr__(self):
+        return "Gauge(%r, %r)" % (self.name, self.value)
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative-style upper bounds).
+
+    ``buckets`` are inclusive upper bounds in ascending order; an
+    implicit overflow bucket catches everything above the last bound.
+    ``counts[i]`` is the number of observations with
+    ``value <= buckets[i]`` (non-cumulative per-bucket counts;
+    ``counts[-1]`` is the overflow).
+    """
+
+    __slots__ = ("name", "buckets", "counts", "total", "count")
+
+    def __init__(self, name, buckets=TIME_BUCKETS):
+        buckets = tuple(buckets)
+        if not buckets or any(
+            b <= a for a, b in zip(buckets, buckets[1:])
+        ):
+            raise AnalysisError(
+                "histogram buckets must be non-empty and ascending: %r"
+                % (buckets,)
+            )
+        self.name = name
+        self.buckets = buckets
+        self.counts = [0] * (len(buckets) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value):
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self):
+        return "Histogram(%r, %d observations, mean %.6fs)" % (
+            self.name, self.count, self.mean,
+        )
+
+
+class MetricsRegistry:
+    """Named metrics, created on first touch, snapshot-able and
+    mergeable."""
+
+    def __init__(self):
+        self._counters = {}
+        self._gauges = {}
+        self._histograms = {}
+
+    # -- access (create on first touch) ------------------------------------
+    def counter(self, name):
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name):
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name, buckets=TIME_BUCKETS):
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(name, buckets)
+        return metric
+
+    # -- snapshots ---------------------------------------------------------
+    def as_dict(self):
+        """JSON-serializable snapshot of every metric."""
+        return {
+            "counters": {
+                name: metric.value
+                for name, metric in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: metric.value
+                for name, metric in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: {
+                    "buckets": list(metric.buckets),
+                    "counts": list(metric.counts),
+                    "total": metric.total,
+                    "count": metric.count,
+                }
+                for name, metric in sorted(self._histograms.items())
+            },
+        }
+
+    def absorb(self, snapshot):
+        """Merge an :meth:`as_dict` snapshot (e.g. shipped back by a
+        pool worker): counters and histogram buckets add, gauges take
+        the incoming value."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, data in snapshot.get("histograms", {}).items():
+            metric = self.histogram(name, buckets=data["buckets"])
+            if tuple(data["buckets"]) != metric.buckets:
+                raise AnalysisError(
+                    "histogram %r bucket mismatch on merge" % (name,)
+                )
+            for index, count in enumerate(data["counts"]):
+                metric.counts[index] += count
+            metric.total += data["total"]
+            metric.count += data["count"]
+
+    def __repr__(self):
+        return "MetricsRegistry(%d counters, %d gauges, %d histograms)" % (
+            len(self._counters), len(self._gauges), len(self._histograms),
+        )
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TIME_BUCKETS",
+]

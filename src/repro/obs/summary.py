@@ -1,0 +1,188 @@
+"""End-of-run trace summaries.
+
+Reduces a span/event stream (live from a tracer or loaded from a JSONL
+file) into one dict — span totals, cache hit-rates per tier, an LP
+solve-time histogram, and headline phase counts — and renders it as a
+stable plain-text table. ``python -m repro trace summarize`` is a thin
+shell around these two functions, and the golden test pins the rendered
+format, so the layout here is a compatibility surface: change it only
+with the golden file.
+"""
+
+from repro.obs.metrics import TIME_BUCKETS
+
+#: Span names whose counts headline the summary (the acceptance-level
+#: phases: LP solves, cone deductions, simulation runs, cell verdicts).
+_PHASE_SPANS = ("lp.solve", "cone.deduce", "sim.observe", "cell.verdict")
+
+
+def summarize_records(records, metrics=None):
+    """Reduce trace records to a summary dict.
+
+    Parameters
+    ----------
+    records:
+        Span and event records (a tracer's ``records`` or the stream
+        from :func:`~repro.obs.sinks.read_jsonl`).
+    metrics:
+        Optional metrics snapshot to fold in (cache counters recorded
+        outside any traced region still show up).
+    """
+    spans = {}
+    events = {}
+    caches = {}
+    lp_durations = []
+    for record in records:
+        kind = record.get("type")
+        name = record.get("name", "")
+        if kind == "span":
+            duration = record.get("dur") or 0.0
+            entry = spans.get(name)
+            if entry is None:
+                entry = spans[name] = {
+                    "count": 0, "total": 0.0, "max": 0.0,
+                }
+            entry["count"] += 1
+            entry["total"] += duration
+            if duration > entry["max"]:
+                entry["max"] = duration
+            if name == "lp.solve":
+                lp_durations.append(duration)
+        elif kind == "event":
+            events[name] = events.get(name, 0) + 1
+            if name.startswith("cache."):
+                attrs = record.get("attrs", {})
+                tier = attrs.get("tier", "?")
+                cache = caches.setdefault(tier, {
+                    "hits": 0, "misses": 0, "writes": 0,
+                    "evictions": 0, "bytes_read": 0, "bytes_written": 0,
+                })
+                action = name[len("cache."):]
+                if action == "hit":
+                    cache["hits"] += 1
+                    cache["bytes_read"] += attrs.get("bytes", 0)
+                elif action == "miss":
+                    cache["misses"] += 1
+                elif action == "write":
+                    cache["writes"] += 1
+                    cache["bytes_written"] += attrs.get("bytes", 0)
+                elif action == "evict":
+                    cache["evictions"] += 1
+    for cache in caches.values():
+        lookups = cache["hits"] + cache["misses"]
+        cache["hit_rate"] = cache["hits"] / lookups if lookups else 0.0
+
+    histogram = {
+        "buckets": list(TIME_BUCKETS),
+        "counts": [0] * (len(TIME_BUCKETS) + 1),
+        "total": 0.0,
+        "count": 0,
+    }
+    for duration in lp_durations:
+        for index, bound in enumerate(TIME_BUCKETS):
+            if duration <= bound:
+                histogram["counts"][index] += 1
+                break
+        else:
+            histogram["counts"][-1] += 1
+        histogram["total"] += duration
+        histogram["count"] += 1
+
+    return {
+        "spans": spans,
+        "events": events,
+        "caches": caches,
+        "lp_histogram": histogram,
+        "phases": {
+            name: spans.get(name, {}).get("count", 0)
+            for name in _PHASE_SPANS
+        },
+        "metrics": metrics,
+    }
+
+
+def _format_seconds(value):
+    return "%10.6f" % value
+
+
+def render_summary(summary, top=15):
+    """Render a summary dict as the stable plain-text table."""
+    lines = []
+    spans = summary["spans"]
+    lines.append("== spans (top %d by cumulative time) ==" % top)
+    lines.append(
+        "%-28s %8s %12s %12s %12s"
+        % ("name", "count", "total s", "mean s", "max s")
+    )
+    ordered = sorted(
+        spans.items(), key=lambda item: (-item[1]["total"], item[0])
+    )
+    for name, entry in ordered[:top]:
+        mean = entry["total"] / entry["count"] if entry["count"] else 0.0
+        lines.append(
+            "%-28s %8d %12.6f %12.6f %12.6f"
+            % (name, entry["count"], entry["total"], mean, entry["max"])
+        )
+    if not spans:
+        lines.append("(no spans)")
+
+    lines.append("")
+    lines.append("== phase counts ==")
+    for name, count in summary["phases"].items():
+        lines.append("%-28s %8d" % (name, count))
+
+    lines.append("")
+    lines.append("== caches ==")
+    caches = summary["caches"]
+    if caches:
+        lines.append(
+            "%-10s %6s %6s %8s %7s %7s %12s %12s"
+            % ("tier", "hits", "miss", "hit rate", "writes",
+               "evict", "bytes read", "bytes writ")
+        )
+        for tier in sorted(caches):
+            cache = caches[tier]
+            lines.append(
+                "%-10s %6d %6d %7.1f%% %7d %7d %12d %12d"
+                % (tier, cache["hits"], cache["misses"],
+                   cache["hit_rate"] * 100.0, cache["writes"],
+                   cache["evictions"], cache["bytes_read"],
+                   cache["bytes_written"])
+            )
+    else:
+        lines.append("(no cache activity)")
+
+    lines.append("")
+    lines.append("== lp.solve histogram ==")
+    histogram = summary["lp_histogram"]
+    if histogram["count"]:
+        bounds = histogram["buckets"]
+        labels = ["<= %gs" % bound for bound in bounds] + [
+            "> %gs" % bounds[-1]
+        ]
+        for label, count in zip(labels, histogram["counts"]):
+            if count:
+                lines.append("%-12s %8d" % (label, count))
+        mean = histogram["total"] / histogram["count"]
+        lines.append(
+            "%d solves, total %.6fs, mean %.6fs"
+            % (histogram["count"], histogram["total"], mean)
+        )
+    else:
+        lines.append("(no lp solves)")
+
+    events = summary["events"]
+    warnings = {
+        name: count for name, count in events.items()
+        if name.endswith(".fallback") or name.endswith(".warning")
+    }
+    if warnings:
+        lines.append("")
+        lines.append("== warnings ==")
+        for name in sorted(warnings):
+            lines.append("%-28s %8d" % (name, warnings[name]))
+
+    return "\n".join(lines) + "\n"
+
+
+__all__ = ["render_summary", "summarize_records"]

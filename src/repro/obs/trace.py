@@ -1,0 +1,281 @@
+"""Lightweight span tracing for the analysis pipeline.
+
+A :class:`Tracer` records *spans* — named, timed, attribute-carrying
+intervals measured with :func:`time.perf_counter` — and *events*
+(instant markers: cache hits, evictions, fallback warnings). The hot
+layers (:mod:`repro.plan`, :mod:`repro.results.session`,
+:mod:`repro.lp`, :mod:`repro.cone`, :mod:`repro.sim`) consult the
+process-wide *active tracer* (:func:`get_tracer`) at call time, so
+tracing needs no plumbing through call signatures and costs nearly
+nothing when disabled: the default active tracer is off, and a disabled
+tracer hands every ``span()`` call the same shared no-op span.
+
+Design points:
+
+* **Context-manager spans.** ``with tracer.span("lp.solve", backend=b)
+  as sp: ...; sp.set(status=s)`` — spans close (and record their
+  duration) on *any* exit path; an exception stamps an ``error``
+  attribute and propagates.
+* **Nesting by construction.** Each span records its ``depth`` (the
+  number of open spans above it) at open time, so sinks and tests can
+  check that spans nest and close correctly without reconstructing a
+  tree.
+* **Cross-process merging.** Records are plain JSON-serializable dicts
+  tagged with ``pid``/``tid`` at record time. Pool workers build their
+  own tracer, trace locally, and ship ``drain()`` output back with
+  their results; the parent ``absorb()``\\ s them into one coherent
+  timeline (timestamps are wall-clock anchored, so worker spans land in
+  the right place).
+* **Metrics attached.** Every tracer owns a
+  :class:`~repro.obs.metrics.MetricsRegistry`; layers that time things
+  (LP solves) or count things (cache hits, bytes) feed it alongside
+  the span stream.
+"""
+
+import functools
+import os
+import threading
+import time
+from contextlib import contextmanager
+
+from repro.obs.metrics import MetricsRegistry
+
+#: Bump when the trace record layout changes incompatibly; sinks stamp
+#: it into the JSONL header and validation rejects other versions.
+OBS_SCHEMA_VERSION = 1
+
+
+def _thread_id():
+    try:  # pragma: no cover - trivially version dependent
+        return threading.get_native_id()
+    except AttributeError:  # pragma: no cover - Python < 3.8
+        return 0
+
+
+class _NullSpan:
+    """The shared no-op span handed out by disabled tracers."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        return False
+
+    def set(self, **attrs):
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """One live span; closes (records duration) on context exit."""
+
+    __slots__ = ("_tracer", "_t0", "record")
+
+    def __init__(self, tracer, record, t0):
+        self._tracer = tracer
+        self._t0 = t0
+        self.record = record
+
+    def set(self, **attrs):
+        """Attach attributes to the span (overwrites on key collision)."""
+        self.record["attrs"].update(attrs)
+        return self
+
+    @property
+    def duration(self):
+        """Seconds elapsed (final after exit, running before)."""
+        closed = self.record["dur"]
+        if closed is not None:
+            return closed
+        return time.perf_counter() - self._t0
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        if exc_type is not None:
+            self.record["attrs"]["error"] = exc_type.__name__
+        self._tracer._close(self.record, time.perf_counter() - self._t0)
+        return False
+
+
+class Tracer:
+    """Span and event recorder with near-zero disabled overhead.
+
+    Parameters
+    ----------
+    enabled:
+        When ``False`` every ``span()`` returns the shared no-op span
+        and ``event()`` returns immediately — the recording machinery
+        is never touched.
+    metrics:
+        The :class:`~repro.obs.metrics.MetricsRegistry` to attach;
+        a fresh one by default.
+    """
+
+    def __init__(self, enabled=True, metrics=None):
+        self.enabled = enabled
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # Wall-clock anchor for perf_counter timestamps: absolute span
+        # times are comparable across processes (needed to merge worker
+        # timelines), while durations keep perf_counter's monotonicity.
+        self._anchor = time.time() - time.perf_counter()
+        self._records = []
+        self._open = []
+
+    # -- recording ---------------------------------------------------------
+    def span(self, name, **attrs):
+        """Open a span; use as a context manager so it always closes."""
+        if not self.enabled:
+            return NULL_SPAN
+        t0 = time.perf_counter()
+        record = {
+            "type": "span",
+            "name": name,
+            "ts": self._anchor + t0,
+            "dur": None,
+            "pid": os.getpid(),
+            "tid": _thread_id(),
+            "depth": len(self._open),
+            "attrs": dict(attrs),
+        }
+        self._records.append(record)
+        self._open.append(record)
+        return _Span(self, record, t0)
+
+    def _close(self, record, duration):
+        record["dur"] = duration
+        # Tolerate out-of-order closes (a span leaked past a child):
+        # unwind the open stack to this record rather than corrupting
+        # the depth bookkeeping for every later span.
+        while self._open:
+            if self._open.pop() is record:
+                break
+
+    def event(self, name, **attrs):
+        """Record an instant event (cache hit, eviction, warning)."""
+        if not self.enabled:
+            return
+        self._records.append({
+            "type": "event",
+            "name": name,
+            "ts": self._anchor + time.perf_counter(),
+            "pid": os.getpid(),
+            "tid": _thread_id(),
+            "attrs": dict(attrs),
+        })
+
+    # -- harvesting --------------------------------------------------------
+    @property
+    def records(self):
+        """The record list (live; spans still open have ``dur None``)."""
+        return self._records
+
+    def drain(self):
+        """Detach and return all *closed* records — the wire format pool
+        workers ship back with their results (open spans stay)."""
+        closed, remaining = [], []
+        for record in self._records:
+            if record["type"] == "span" and record["dur"] is None:
+                remaining.append(record)
+            else:
+                closed.append(record)
+        self._records = remaining
+        return closed
+
+    def absorb(self, records):
+        """Merge records recorded elsewhere (a pool worker's ``drain()``)
+        into this tracer's stream, preserving their pid/tid tags."""
+        if records:
+            self._records.extend(records)
+
+    def open_spans(self):
+        """Names of spans opened but not yet closed (in open order)."""
+        return [record["name"] for record in self._open]
+
+    def clear(self):
+        self._records = []
+        self._open = []
+
+    def __repr__(self):
+        return "Tracer(enabled=%r, %d records)" % (
+            self.enabled, len(self._records),
+        )
+
+
+#: The default active tracer: disabled, so an untraced process pays one
+#: attribute check per instrumentation point and nothing else.
+_ACTIVE = Tracer(enabled=False)
+
+
+def get_tracer():
+    """The process-wide active tracer (disabled unless installed)."""
+    return _ACTIVE
+
+
+def set_tracer(tracer):
+    """Install ``tracer`` as the active tracer; returns the previous
+    one so callers can restore it (prefer :func:`activate`)."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer if tracer is not None else Tracer(enabled=False)
+    return previous
+
+
+@contextmanager
+def activate(tracer):
+    """Make ``tracer`` the active tracer for the dynamic extent of a
+    ``with`` block, restoring the previous one on exit."""
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+
+
+def tracer_for(pipeline):
+    """The tracer a pipeline-scoped operation should record into: the
+    pipeline's own (``CounterPoint(trace=...)``), else the active one."""
+    tracer = getattr(pipeline, "tracer", None)
+    return tracer if tracer is not None else get_tracer()
+
+
+def traced(name=None, **static_attrs):
+    """Decorator: wrap every call of the function in a span.
+
+    The span name defaults to the function's qualified name; the active
+    tracer is looked up at *call* time, so decorating is free when
+    tracing is off and library functions need no tracer argument::
+
+        @traced("sim.batch")
+        def batch_simulate(...):
+            ...
+    """
+    def wrap(function):
+        label = name or function.__qualname__
+
+        @functools.wraps(function)
+        def inner(*args, **kwargs):
+            tracer = get_tracer()
+            if not tracer.enabled:
+                return function(*args, **kwargs)
+            with tracer.span(label, **static_attrs):
+                return function(*args, **kwargs)
+        return inner
+    return wrap
+
+
+__all__ = [
+    "NULL_SPAN",
+    "OBS_SCHEMA_VERSION",
+    "Tracer",
+    "activate",
+    "get_tracer",
+    "set_tracer",
+    "traced",
+    "tracer_for",
+]

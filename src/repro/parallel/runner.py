@@ -28,15 +28,19 @@ Fallback rules (all produce results identical to the pool path):
   in-process; the next call builds a fresh pool.
 """
 
+import logging
 import os
 import pickle
 
 from repro.errors import AnalysisError
+from repro.obs.trace import get_tracer
 
 try:  # pragma: no cover - import shape varies across Python versions
     from concurrent.futures.process import BrokenProcessPool
 except ImportError:  # pragma: no cover
     BrokenProcessPool = OSError
+
+logger = logging.getLogger("repro.parallel")
 
 
 def split_seeds(seed, n, stride=1):
@@ -90,6 +94,9 @@ class ParallelRunner:
         self.chunk_size = chunk_size
         self.fallbacks = 0
         self.dispatches = 0
+        #: ``(reason, task_type)`` of the most recent serial fallback,
+        #: or ``None`` — the structured detail behind ``fallbacks``.
+        self.last_fallback = None
         self._executor = None
 
     @property
@@ -124,6 +131,26 @@ class ParallelRunner:
         except Exception:
             pass
 
+    def _note_fallback(self, reason, fn, n_cells):
+        """Record a degrade-to-serial decision loudly: a counter, a
+        structured warning on the ``repro.parallel`` logger, and a
+        trace event — so a ``workers=N`` run that silently went serial
+        is visible in logs and in any trace file."""
+        self.fallbacks += 1
+        task_type = getattr(fn, "__qualname__", repr(fn))
+        self.last_fallback = (reason, task_type)
+        logger.warning(
+            "parallel dispatch of %s fell back to serial (%s); "
+            "%d cells ran in-process", task_type, reason, n_cells,
+        )
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "parallel.fallback", reason=reason, task=task_type,
+                cells=n_cells,
+            )
+            tracer.metrics.counter("parallel.fallbacks").inc()
+
     def _chunk_size_for(self, n_cells, chunk_size):
         if chunk_size is not None:
             return chunk_size
@@ -143,7 +170,7 @@ class ParallelRunner:
         if self.workers == 1 or len(cells) <= 1:
             return [fn(cell) for cell in cells]
         if not _picklable(fn) or not _picklable(cells[0]):
-            self.fallbacks += 1
+            self._note_fallback("unpicklable task", fn, len(cells))
             return [fn(cell) for cell in cells]
         chunk = self._chunk_size_for(len(cells), chunk_size)
         self.dispatches += 1
@@ -156,14 +183,14 @@ class ParallelRunner:
             # functions of their payloads (cache writes are idempotent),
             # so rerunning serially is safe; a genuine TypeError from
             # ``fn`` itself re-raises identically from the serial rerun.
-            self.fallbacks += 1
+            self._note_fallback("cell failed to pickle", fn, len(cells))
             return [fn(cell) for cell in cells]
         except BrokenProcessPool:
             # A worker died (OOM, signal). The cells are pure functions
             # of their payloads, so re-running serially is safe; drop
             # the dead pool so the next call starts a fresh one.
             self.close()
-            self.fallbacks += 1
+            self._note_fallback("broken process pool", fn, len(cells))
             return [fn(cell) for cell in cells]
 
     def map_models(self, fn, models, chunk_size=None):

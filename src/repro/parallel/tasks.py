@@ -26,6 +26,51 @@ serial counterpart (same seeds, same ordering, same verdicts).
 from repro.parallel.runner import split_seeds
 
 
+def _worker_tracer(payload):
+    """The tracer a worker records into: enabled iff the dispatching
+    parent was tracing (payloads carry a ``trace`` flag), so untraced
+    runs ship no extra bytes and pay no recording cost."""
+    from repro.obs.trace import Tracer
+
+    return Tracer(enabled=bool(payload.get("trace")))
+
+
+def _obs_shipment(tracer):
+    """The worker's trace records and metrics, ready to ride back with
+    its results (``None`` when the worker was not tracing)."""
+    if not tracer.enabled:
+        return None
+    import os
+
+    return {
+        "pid": os.getpid(),
+        "records": tracer.drain(),
+        "metrics": tracer.metrics.as_dict(),
+    }
+
+
+def _absorb_obs(shipment):
+    """Merge a worker's shipped records/metrics into the parent's
+    active tracer, preserving the worker's pid/tid tags."""
+    if not shipment:
+        return
+    from repro.obs.trace import get_tracer
+
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.absorb(shipment.get("records") or [])
+        tracer.metrics.absorb(shipment.get("metrics") or {})
+        tracer.metrics.counter(
+            "workers.tasks.pid_%d" % shipment.get("pid", 0)
+        ).inc()
+
+
+def _tracing():
+    from repro.obs.trace import get_tracer
+
+    return get_tracer().enabled
+
+
 def _chunks(items, n_chunks):
     """Split ``items`` into at most ``n_chunks`` contiguous runs,
     preserving order (sizes differ by at most one)."""
@@ -50,17 +95,28 @@ def run_verdict_chunk(payload):
     (:func:`repro.results.session.compute_cell_verdicts`), so chunk
     boundaries cannot change verdicts; point chunks keep the batched
     facet screen intact.
+
+    When the dispatching parent was tracing (``payload["trace"]``), the
+    chunk runs under a worker-local tracer and the result wraps the
+    verdicts together with the recorded spans/metrics for the parent to
+    absorb; otherwise the historic bare-list shape is returned.
     """
+    from repro.obs.trace import activate
     from repro.results.session import compute_cell_verdicts
 
-    verdicts = compute_cell_verdicts(
-        payload["cone"],
-        payload["targets"],
-        backend=payload["backend"],
-        use_regions=payload["use_regions"],
-        explain=payload["explain"],
-    )
-    return [verdict.to_dict() for verdict in verdicts]
+    tracer = _worker_tracer(payload)
+    with activate(tracer):
+        verdicts = compute_cell_verdicts(
+            payload["cone"],
+            payload["targets"],
+            backend=payload["backend"],
+            use_regions=payload["use_regions"],
+            explain=payload["explain"],
+        )
+    entries = [verdict.to_dict() for verdict in verdicts]
+    if tracer.enabled:
+        return {"verdicts": entries, "obs": _obs_shipment(tracer)}
+    return entries
 
 
 def dispatch_verdicts(runner, cone, targets, backend="exact",
@@ -76,6 +132,7 @@ def dispatch_verdicts(runner, cone, targets, backend="exact",
     from repro.results.types import CellVerdict
 
     targets = list(targets)
+    tracing = _tracing()
     cells = [
         {
             "cone": cone,
@@ -83,11 +140,15 @@ def dispatch_verdicts(runner, cone, targets, backend="exact",
             "backend": backend,
             "use_regions": use_regions,
             "explain": explain,
+            "trace": tracing,
         }
         for chunk in _chunks(targets, runner.workers)
     ]
     verdicts = []
     for chunk in runner.map_cells(run_verdict_chunk, cells, chunk_size=1):
+        if isinstance(chunk, dict):
+            _absorb_obs(chunk.get("obs"))
+            chunk = chunk["verdicts"]
         verdicts.extend(CellVerdict.from_dict(entry) for entry in chunk)
     return verdicts
 
@@ -129,7 +190,8 @@ def run_cross_refute_row(payload):
     """Worker: one (row, candidate-subset) cell of the closed-loop
     matrix — simulate the row's observed model, sweep the cell's
     candidates against the dataset. Sweeps come back as ``ModelSweep``
-    schema dicts.
+    schema dicts, alongside the worker's trace shipment (``None``
+    unless the dispatching parent was tracing).
 
     The row seed is the serial schedule's ``seed + 1000 * row``, so the
     simulated observations are identical to a serial run's regardless
@@ -137,33 +199,36 @@ def run_cross_refute_row(payload):
     a row re-simulates the same dataset — simulation is cheap next to
     the sweeps the split parallelises).
     """
+    from repro.obs.trace import activate
     from repro.pipeline import CounterPoint
     from repro.sim import simulate_dataset
 
-    observed = payload["observed"]
-    observations = simulate_dataset(
-        observed,
-        payload["n_observations"],
-        n_uops=payload["n_uops"],
-        weights=payload["weights"],
-        seed=payload["row_seed"],
-    )
-    counters = observations[0].samples.counters
-    # workers=1: pool workers never nest pools.
-    with CounterPoint(
-        backend=payload["backend"],
-        confidence=payload["confidence"],
-        cache_dir=payload["cache_dir"],
-        workers=1,
-    ) as counterpoint:
-        sweeps = {}
-        for candidate in payload["candidates"]:
-            cone = counterpoint.model_cone(candidate, counters=counters)
-            sweep = counterpoint.sweep(
-                cone, observations, explain=payload["explain"]
-            )
-            sweeps[candidate.name] = sweep.to_dict()
-    return observed.name, sweeps
+    tracer = _worker_tracer(payload)
+    with activate(tracer):
+        observed = payload["observed"]
+        observations = simulate_dataset(
+            observed,
+            payload["n_observations"],
+            n_uops=payload["n_uops"],
+            weights=payload["weights"],
+            seed=payload["row_seed"],
+        )
+        counters = observations[0].samples.counters
+        # workers=1: pool workers never nest pools.
+        with CounterPoint(
+            backend=payload["backend"],
+            confidence=payload["confidence"],
+            cache_dir=payload["cache_dir"],
+            workers=1,
+        ) as counterpoint:
+            sweeps = {}
+            for candidate in payload["candidates"]:
+                cone = counterpoint.model_cone(candidate, counters=counters)
+                sweep = counterpoint.sweep(
+                    cone, observations, explain=payload["explain"]
+                )
+                sweeps[candidate.name] = sweep.to_dict()
+    return observed.name, sweeps, _obs_shipment(tracer)
 
 
 def parallel_cross_refute(runner, mudds, n_observations=3, n_uops=20000,
@@ -187,6 +252,7 @@ def parallel_cross_refute(runner, mudds, n_observations=3, n_uops=20000,
     # per worker in flight for load balancing on uneven rows.
     n_splits = max(1, -(-2 * runner.workers // max(1, len(mudds))))
     candidate_chunks = _chunks(mudds, n_splits)
+    tracing = _tracing()
     cells = [
         {
             "observed": observed,
@@ -199,12 +265,16 @@ def parallel_cross_refute(runner, mudds, n_observations=3, n_uops=20000,
             "confidence": confidence,
             "cache_dir": runner.cache_dir,
             "explain": explain,
+            "trace": tracing,
         }
         for observed, row_seed in zip(mudds, row_seeds)
         for chunk in candidate_chunks
     ]
     rows = {}
-    for name, sweeps in runner.map_cells(run_cross_refute_row, cells, chunk_size=1):
+    for name, sweeps, obs in runner.map_cells(
+        run_cross_refute_row, cells, chunk_size=1
+    ):
+        _absorb_obs(obs)
         rows.setdefault(name, {}).update({
             candidate: ModelSweep.from_dict(entry)
             for candidate, entry in sweeps.items()
@@ -224,22 +294,33 @@ def parallel_cross_refute(runner, mudds, n_observations=3, n_uops=20000,
 
 def run_simulate_chunk(payload):
     """Worker: simulate a contiguous run-index chunk of one dataset,
-    reproducing the serial per-run seeds and observation names."""
+    reproducing the serial per-run seeds and observation names.
+
+    When the dispatching parent was tracing, returns
+    ``{"observations": [...], "obs": shipment}`` instead of the bare
+    list so the worker's spans ride back with the data.
+    """
+    from repro.obs.trace import activate
     from repro.sim.scenarios import simulate_observation
 
+    tracer = _worker_tracer(payload)
     mudd = payload["mudd"]
-    return [
-        simulate_observation(
-            mudd,
-            n_uops=payload["n_uops"],
-            weights=payload["weights"],
-            seed=payload["seed"] + run,
-            noisy=payload["noisy"],
-            name="sim:%s/run%d" % (mudd.name, run),
-            **payload["options"]
-        )
-        for run in payload["runs"]
-    ]
+    with activate(tracer):
+        observations = [
+            simulate_observation(
+                mudd,
+                n_uops=payload["n_uops"],
+                weights=payload["weights"],
+                seed=payload["seed"] + run,
+                noisy=payload["noisy"],
+                name="sim:%s/run%d" % (mudd.name, run),
+                **payload["options"]
+            )
+            for run in payload["runs"]
+        ]
+    if tracer.enabled:
+        return {"observations": observations, "obs": _obs_shipment(tracer)}
+    return observations
 
 
 def parallel_simulate_dataset(runner, model, n_observations, n_uops=20000,
@@ -253,6 +334,7 @@ def parallel_simulate_dataset(runner, model, n_observations, n_uops=20000,
     from repro.sim.scenarios import as_mudd
 
     mudd = as_mudd(model)
+    tracing = _tracing()
     cells = [
         {
             "mudd": mudd,
@@ -262,11 +344,15 @@ def parallel_simulate_dataset(runner, model, n_observations, n_uops=20000,
             "seed": seed,
             "noisy": noisy,
             "options": options,
+            "trace": tracing,
         }
         for chunk in _chunks(range(n_observations), runner.workers)
     ]
     observations = []
     for chunk in runner.map_cells(run_simulate_chunk, cells, chunk_size=1):
+        if isinstance(chunk, dict):
+            _absorb_obs(chunk.get("obs"))
+            chunk = chunk["observations"]
         observations.extend(chunk)
     return tuple(observations)
 

@@ -70,6 +70,15 @@ class CounterPoint:
         and across runs. Requires the default ``cache=True`` (to
         combine a custom cache with a disk tier, pass
         ``cache=ModelConeCache(disk=cache_dir)`` instead).
+    trace:
+        Observability (:mod:`repro.obs`). ``True`` builds a fresh
+        enabled :class:`~repro.obs.Tracer`; an existing tracer may be
+        passed to share one across pipelines. Every analysis run on
+        this pipeline then records spans (LP solves, cone deduction,
+        verdicts, simulation, scheduler dispatch) and cache events into
+        ``pipeline.tracer`` — including spans recorded inside pool
+        workers, which ship back with their results. ``None`` (the
+        default) records nothing and costs nearly nothing.
 
     The pipeline owns a lazily-built process pool; call :meth:`close`
     (or use the pipeline as a context manager) to shut workers down
@@ -77,7 +86,7 @@ class CounterPoint:
     """
 
     def __init__(self, counters=None, backend="exact", confidence=0.99,
-                 cache=True, workers=1, cache_dir=None):
+                 cache=True, workers=1, cache_dir=None, trace=None):
         self.counters = counters
         self.backend = backend
         self.confidence = confidence
@@ -103,6 +112,14 @@ class CounterPoint:
         if workers is not None and workers < 1:
             raise AnalysisError("workers must be at least 1, got %r" % (workers,))
         self.workers = workers
+        if trace is True:
+            from repro.obs import Tracer
+
+            self.tracer = Tracer()
+        elif trace is False:
+            self.tracer = None
+        else:
+            self.tracer = trace
         self._runner = None
         self._session = None
         self._plan_engine = None
@@ -300,9 +317,11 @@ class CounterPoint:
         :class:`~repro.models.dataset.Observation`: feed ``.point()`` to
         :meth:`analyze` or the object itself to :meth:`sweep`.
         """
+        from repro.obs.trace import activate, tracer_for
         from repro.sim import simulate_observation
 
-        return simulate_observation(model, n_uops=n_uops, **options)
+        with activate(tracer_for(self)):
+            return simulate_observation(model, n_uops=n_uops, **options)
 
     def simulate_dataset(self, model, n_observations, n_uops=20000, **options):
         """Independent simulated observations of one model, ready for
@@ -314,15 +333,20 @@ class CounterPoint:
         observations, faster wall-clock). Options pass through to
         :func:`repro.sim.simulate_observation`.
         """
+        from repro.obs.trace import activate, tracer_for
         from repro.sim import simulate_dataset
 
-        if self._parallel() and n_observations > 1:
-            from repro.parallel import parallel_simulate_dataset
+        with activate(tracer_for(self)):
+            if self._parallel() and n_observations > 1:
+                from repro.parallel import parallel_simulate_dataset
 
-            return parallel_simulate_dataset(
-                self.runner(), model, n_observations, n_uops=n_uops, **options
+                return parallel_simulate_dataset(
+                    self.runner(), model, n_observations, n_uops=n_uops,
+                    **options
+                )
+            return simulate_dataset(
+                model, n_observations, n_uops=n_uops, **options
             )
-        return simulate_dataset(model, n_observations, n_uops=n_uops, **options)
 
     def cross_refute(
         self, models, n_observations=3, n_uops=20000, weights=None, seed=0,

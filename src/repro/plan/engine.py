@@ -21,9 +21,11 @@ computable up front) how many cells the store already answers.
 """
 
 import functools
+import time
 from collections.abc import Mapping
 
 from repro.errors import AnalysisError
+from repro.obs.trace import OBS_SCHEMA_VERSION, activate, tracer_for
 from repro.plan.compiler import compile_plan
 from repro.plan.schedulers import SerialScheduler, scheduler_for
 from repro.results.base import ResultBase, register, result_from_dict
@@ -87,11 +89,18 @@ class PlanResult(ResultBase, Mapping):
     computed / memo-hit / store-hit. ``datasets`` carries the live
     simulated observations per ``simulate_dataset`` op id (in-memory
     only; not serialized).
+
+    ``timing`` is the run's wall-clock breakdown — total, the
+    simulation phase, and per-op seconds, stamped with the
+    :mod:`repro.obs` schema version. Engine runs always record it;
+    hand-built results (and results loaded from pre-observability
+    JSON) carry ``None``, and the key is omitted from the payload so
+    old golden files stay valid.
     """
 
     kind = "plan_result"
 
-    def __init__(self, results, stats=None):
+    def __init__(self, results, stats=None, timing=None):
         if isinstance(results, Mapping):
             entries = list(results.items())
         else:
@@ -100,6 +109,7 @@ class PlanResult(ResultBase, Mapping):
         if len(self._results) != len(entries):
             raise AnalysisError("duplicate op ids in plan result")
         self.stats = dict(stats or {})
+        self.timing = None if timing is None else dict(timing)
         self.datasets = {}
 
     # -- mapping protocol --------------------------------------------------
@@ -128,6 +138,13 @@ class PlanResult(ResultBase, Mapping):
                     self.stats.get("store_hits", 0),
                 )
             )
+        if self.timing is not None:
+            lines.append(
+                "  %.3fs total (%.3fs simulating)" % (
+                    self.timing.get("total_seconds", 0.0),
+                    self.timing.get("simulate_seconds", 0.0),
+                )
+            )
         for op_id, result in self._results.items():
             lines.append("")
             lines.append("== %s ==" % (op_id,))
@@ -135,7 +152,7 @@ class PlanResult(ResultBase, Mapping):
         return "\n".join(lines)
 
     def _payload(self):
-        return {
+        payload = {
             "results": {
                 op_id: result.to_dict()
                 for op_id, result in self._results.items()
@@ -143,6 +160,9 @@ class PlanResult(ResultBase, Mapping):
             "order": list(self._results),
             "stats": dict(self.stats),
         }
+        if self.timing is not None:
+            payload["timing"] = dict(self.timing)
+        return payload
 
     @classmethod
     def _from_payload(cls, payload):
@@ -152,6 +172,7 @@ class PlanResult(ResultBase, Mapping):
                 for op_id in payload["order"]
             ],
             stats=payload["stats"],
+            timing=payload.get("timing"),
         )
 
     def __repr__(self):
@@ -251,17 +272,30 @@ class PlanEngine:
         ``scheduler`` overrides the default execution strategy
         (:func:`~repro.plan.schedulers.scheduler_for`: pool when the
         pipeline is parallel, serial otherwise).
+
+        The run executes under the pipeline's tracer (or the active
+        one): per-op spans, scheduler/cell spans in the layers below,
+        and a wall-clock ``timing`` breakdown on the returned
+        :class:`PlanResult` either way.
         """
+        with activate(tracer_for(self.pipeline)) as tracer:
+            with tracer.span("plan.run"):
+                return self._execute(plan, scheduler, tracer)
+
+    def _execute(self, plan, scheduler, tracer):
+        started = time.perf_counter()
         compiled = compile_plan(plan, self.pipeline)
         if scheduler is None:
             scheduler = scheduler_for(self.pipeline)
         session = self.pipeline.session()
         before = session.stats.as_dict()
 
+        sim_started = time.perf_counter()
         datasets = {
             key: scheduler.simulate(self.pipeline, task)
             for key, task in compiled.sims.items()
         }
+        simulate_seconds = time.perf_counter() - sim_started
         bundled = {
             slot: observations
             for slot, observations in compiled.bundled_sizes.items()
@@ -269,6 +303,7 @@ class PlanEngine:
 
         results = []
         live_datasets = {}
+        op_seconds = {}
         # Analyze ops run through session.analyze, which shares the
         # session's tests/memo/store counters with the verdict cells;
         # track their share separately so the plan stats' cell
@@ -277,46 +312,52 @@ class PlanEngine:
         report_share = {"tests": 0, "memo_hits": 0, "store_hits": 0}
         for op_id in compiled.op_order:
             kind, payload = compiled.assembly[op_id]
-            if kind == "dataset":
-                task = compiled.sims[payload]
-                observations = datasets[payload]
-                live_datasets[op_id] = observations
-                results.append((op_id, DatasetSummary(
-                    getattr(task.model, "name", str(task.model)),
-                    [observation.name for observation in observations],
-                    task.n_uops,
-                    task.seed,
-                )))
-            elif kind == "report":
-                pre = session.stats.as_dict()
-                report = session.analyze(
-                    payload.model, payload.observation, explain=payload.explain,
-                )
-                post = session.stats.as_dict()
-                for counter in report_share:
-                    report_share[counter] += post[counter] - pre[counter]
-                results.append((op_id, report))
-            elif kind == "sweep":
-                results.append((op_id, self._run_unit(
-                    payload, datasets, bundled, scheduler, session,
-                )))
-            elif kind == "compare":
-                # A list, not a dict: CompareResult's duplicate-name
-                # guard must see every sweep.
-                results.append((op_id, CompareResult([
-                    self._run_unit(unit, datasets, bundled, scheduler, session)
-                    for unit in payload
-                ])))
-            elif kind == "matrix":
-                results.append((op_id, RefutationMatrix({
-                    observed: CompareResult({
-                        candidate: self._run_unit(
+            op_started = time.perf_counter()
+            with tracer.span("plan.op", op=op_id, kind=kind):
+                if kind == "dataset":
+                    task = compiled.sims[payload]
+                    observations = datasets[payload]
+                    live_datasets[op_id] = observations
+                    results.append((op_id, DatasetSummary(
+                        getattr(task.model, "name", str(task.model)),
+                        [observation.name for observation in observations],
+                        task.n_uops,
+                        task.seed,
+                    )))
+                elif kind == "report":
+                    pre = session.stats.as_dict()
+                    report = session.analyze(
+                        payload.model, payload.observation,
+                        explain=payload.explain,
+                    )
+                    post = session.stats.as_dict()
+                    for counter in report_share:
+                        report_share[counter] += post[counter] - pre[counter]
+                    results.append((op_id, report))
+                elif kind == "sweep":
+                    results.append((op_id, self._run_unit(
+                        payload, datasets, bundled, scheduler, session,
+                    )))
+                elif kind == "compare":
+                    # A list, not a dict: CompareResult's duplicate-name
+                    # guard must see every sweep.
+                    results.append((op_id, CompareResult([
+                        self._run_unit(
                             unit, datasets, bundled, scheduler, session
                         )
-                        for candidate, unit in row
-                    })
-                    for observed, row in payload
-                })))
+                        for unit in payload
+                    ])))
+                elif kind == "matrix":
+                    results.append((op_id, RefutationMatrix({
+                        observed: CompareResult({
+                            candidate: self._run_unit(
+                                unit, datasets, bundled, scheduler, session
+                            )
+                            for candidate, unit in row
+                        })
+                        for observed, row in payload
+                    })))
+            op_seconds[op_id] = time.perf_counter() - op_started
 
         after = session.stats.as_dict()
         counts = compiled.counts()
@@ -339,7 +380,13 @@ class PlanEngine:
             "report_hits": (report_share["memo_hits"]
                             + report_share["store_hits"]),
         }
-        result = PlanResult(results, stats=stats)
+        timing = {
+            "schema": OBS_SCHEMA_VERSION,
+            "total_seconds": time.perf_counter() - started,
+            "simulate_seconds": simulate_seconds,
+            "ops": op_seconds,
+        }
+        result = PlanResult(results, stats=stats, timing=timing)
         result.datasets = live_datasets
         return result
 

@@ -20,6 +20,8 @@ pipeline is parallel, serial otherwise); pass one explicitly to
 override, e.g. forcing a serial run on a ``workers=8`` pipeline.
 """
 
+from repro.obs.trace import get_tracer
+
 
 class SerialScheduler:
     """Run every task in-process (the reference execution)."""
@@ -27,25 +29,32 @@ class SerialScheduler:
     def simulate(self, pipeline, task):
         from repro.sim import simulate_dataset
 
-        return simulate_dataset(
-            task.model,
-            task.n_observations,
-            n_uops=task.n_uops,
-            weights=task.weights,
-            seed=task.seed,
-            noisy=task.noisy,
-        )
+        with get_tracer().span(
+            "sched.simulate", scheduler="serial",
+            runs=task.n_observations,
+        ):
+            return simulate_dataset(
+                task.model,
+                task.n_observations,
+                n_uops=task.n_uops,
+                weights=task.weights,
+                seed=task.seed,
+                noisy=task.noisy,
+            )
 
     def compute(self, session, cone, targets, use_regions, explain):
         from repro.results.session import compute_cell_verdicts
 
-        return compute_cell_verdicts(
-            cone,
-            targets,
-            backend=session.pipeline.backend,
-            use_regions=use_regions,
-            explain=explain,
-        )
+        with get_tracer().span(
+            "sched.compute", scheduler="serial", cells=len(targets)
+        ):
+            return compute_cell_verdicts(
+                cone,
+                targets,
+                backend=session.pipeline.backend,
+                use_regions=use_regions,
+                explain=explain,
+            )
 
     def __repr__(self):
         return "SerialScheduler()"
@@ -71,15 +80,19 @@ class PoolScheduler(SerialScheduler):
     def simulate(self, pipeline, task):
         from repro.parallel import parallel_simulate_dataset
 
-        return parallel_simulate_dataset(
-            self._runner(pipeline),
-            task.model,
-            task.n_observations,
-            n_uops=task.n_uops,
-            weights=task.weights,
-            seed=task.seed,
-            noisy=task.noisy,
-        )
+        with get_tracer().span(
+            "sched.simulate", scheduler="pool",
+            runs=task.n_observations,
+        ):
+            return parallel_simulate_dataset(
+                self._runner(pipeline),
+                task.model,
+                task.n_observations,
+                n_uops=task.n_uops,
+                weights=task.weights,
+                seed=task.seed,
+                noisy=task.noisy,
+            )
 
     def compute(self, session, cone, targets, use_regions, explain):
         if len(targets) <= 1:
@@ -91,14 +104,17 @@ class PoolScheduler(SerialScheduler):
         from repro.parallel.tasks import dispatch_verdicts
 
         pipeline = session.pipeline
-        return dispatch_verdicts(
-            self._runner(pipeline),
-            cone,
-            targets,
-            backend=pipeline.backend,
-            use_regions=use_regions,
-            explain=explain,
-        )
+        with get_tracer().span(
+            "sched.compute", scheduler="pool", cells=len(targets)
+        ):
+            return dispatch_verdicts(
+                self._runner(pipeline),
+                cone,
+                targets,
+                backend=pipeline.backend,
+                use_regions=use_regions,
+                explain=explain,
+            )
 
     def __repr__(self):
         return "PoolScheduler(%r)" % (self.runner,)

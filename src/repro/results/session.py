@@ -33,6 +33,8 @@ from repro.cone import (
 from repro.cone.violations import Violation
 from repro.errors import ReproError
 from repro.geometry.halfspace import EQUALITY
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import get_tracer
 from repro.results.fingerprint import observation_fingerprint
 from repro.results.store import ArtifactStore, content_key
 from repro.results.types import (
@@ -44,6 +46,19 @@ from repro.results.types import (
 )
 
 
+def _registry_counter(name):
+    """An attribute-style view over a registry counter, so the historic
+    ``stats.tests += 1`` arithmetic keeps working on the facade."""
+
+    def read(self):
+        return self.registry.counter(name).value
+
+    def write(self, value):
+        self.registry.counter(name).value = value
+
+    return property(read, write)
+
+
 class SessionStats:
     """Counters proving (or disproving) incrementality.
 
@@ -51,15 +66,23 @@ class SessionStats:
     the incrementality contract is stated in: appending one observation
     to a warmed sweep must raise it by exactly one, and a session warmed
     from disk must not raise it at all.
+
+    Since the :mod:`repro.obs` rework this is a facade over a
+    :class:`~repro.obs.metrics.MetricsRegistry` — the four counters are
+    registry counters (``session.tests`` etc.), so trace summaries and
+    session statistics reconcile by construction — but the attribute
+    API and ``as_dict`` layout are unchanged.
     """
 
-    __slots__ = ("tests", "memo_hits", "store_hits", "reports")
+    __slots__ = ("registry",)
 
-    def __init__(self):
-        self.tests = 0
-        self.memo_hits = 0
-        self.store_hits = 0
-        self.reports = 0
+    tests = _registry_counter("session.tests")
+    memo_hits = _registry_counter("session.memo_hits")
+    store_hits = _registry_counter("session.store_hits")
+    reports = _registry_counter("session.reports")
+
+    def __init__(self, registry=None):
+        self.registry = registry if registry is not None else MetricsRegistry()
 
     def as_dict(self):
         return {
@@ -197,6 +220,10 @@ class AnalysisSession:
         verdict = self._memo.get(key)
         if verdict is not None:
             self.stats.memo_hits += 1
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.event("session.memo_hit")
+                tracer.metrics.counter("session.memo_hits").inc()
             return verdict
         if self.store is not None:
             payload = self.store.get("verdict", key)
@@ -204,6 +231,10 @@ class AnalysisSession:
                 verdict = CellVerdict.from_dict(payload)
                 self._memo[key] = verdict
                 self.stats.store_hits += 1
+                tracer = get_tracer()
+                if tracer.enabled:
+                    tracer.event("session.store_hit")
+                    tracer.metrics.counter("session.store_hits").inc()
                 return verdict
         return None
 
@@ -237,37 +268,46 @@ class AnalysisSession:
         an override can change wall-clock but never memo semantics.
         """
         pipeline = self.pipeline
-        cone = pipeline.model_cone(model)
-        observations = list(observations)
-        names = [
-            getattr(observation, "name", "obs%d" % index)
-            for index, observation in enumerate(observations)
-        ]
-        verdicts = [None] * len(observations)
-        pending = []
-        for index, observation in enumerate(observations):
-            if use_regions:
-                key = self._region_key(cone, observation, correlated, explain)
-            else:
-                key = self._point_key(cone, observation, explain)
-            verdict = self._lookup(key)
-            if verdict is None:
-                pending.append((index, key))
-            else:
-                verdicts[index] = verdict
-        if pending:
-            targets = [
-                self._target(observations[index], use_regions, correlated)
-                for index, _ in pending
+        tracer = get_tracer()
+        with tracer.span("session.sweep", model=getattr(
+            model, "name", str(model)
+        )) as span:
+            cone = pipeline.model_cone(model)
+            observations = list(observations)
+            names = [
+                getattr(observation, "name", "obs%d" % index)
+                for index, observation in enumerate(observations)
             ]
-            if compute is None:
-                compute = self._compute
-            computed = compute(cone, targets, use_regions, explain)
-            self.stats.tests += len(pending)
-            for (index, key), verdict in zip(pending, computed):
-                self._record(key, verdict)
-                verdicts[index] = verdict
-        return sweep_from_verdicts(cone.name, names, verdicts)
+            verdicts = [None] * len(observations)
+            pending = []
+            for index, observation in enumerate(observations):
+                if use_regions:
+                    key = self._region_key(
+                        cone, observation, correlated, explain
+                    )
+                else:
+                    key = self._point_key(cone, observation, explain)
+                verdict = self._lookup(key)
+                if verdict is None:
+                    pending.append((index, key))
+                else:
+                    verdicts[index] = verdict
+            span.set(cells=len(observations), pending=len(pending))
+            if pending:
+                targets = [
+                    self._target(observations[index], use_regions, correlated)
+                    for index, _ in pending
+                ]
+                if compute is None:
+                    compute = self._compute
+                computed = compute(cone, targets, use_regions, explain)
+                self.stats.tests += len(pending)
+                if tracer.enabled:
+                    tracer.metrics.counter("session.tests").inc(len(pending))
+                for (index, key), verdict in zip(pending, computed):
+                    self._record(key, verdict)
+                    verdicts[index] = verdict
+            return sweep_from_verdicts(cone.name, names, verdicts)
 
     def _target(self, observation, use_regions, correlated):
         """The solvable form of an observation for one mode."""
@@ -329,6 +369,13 @@ class AnalysisSession:
         fresh process sharing the store.
         """
         pipeline = self.pipeline
+        tracer = get_tracer()
+        with tracer.span("session.analyze", model=getattr(
+            model, "name", str(model)
+        )) as span:
+            return self._analyze(pipeline, model, observation, explain, span)
+
+    def _analyze(self, pipeline, model, observation, explain, span):
         cone = pipeline.model_cone(model)
         is_region = hasattr(observation, "box_constraints")
         key = content_key(
@@ -338,6 +385,7 @@ class AnalysisSession:
             pipeline.backend,
             bool(explain),
         )
+        tracer = get_tracer()
         cached = self._memo.get(key)
         if cached is None and self.store is not None:
             payload = self.store.get("report", key)
@@ -345,15 +393,21 @@ class AnalysisSession:
                 cached = AnalysisReport.from_dict(payload)
                 self._memo[key] = cached
                 self.stats.store_hits += 1
+                if tracer.enabled:
+                    tracer.metrics.counter("session.store_hits").inc()
         elif cached is not None:
             self.stats.memo_hits += 1
+            if tracer.enabled:
+                tracer.metrics.counter("session.memo_hits").inc()
         if cached is not None:
             # Content keys ignore model names; hand back a relabeled
             # *copy* — mutating the memo entry would corrupt reports
             # already returned to earlier callers.
+            span.set(outcome="memoized")
             report = AnalysisReport.from_dict(cached.to_dict())
             report.model_name = cone.name
             return report
+        span.set(outcome="computed")
         if is_region:
             result = test_region_feasibility(
                 cone, observation, backend=pipeline.backend
@@ -387,6 +441,9 @@ class AnalysisSession:
         )
         self.stats.tests += 1
         self.stats.reports += 1
+        if tracer.enabled:
+            tracer.metrics.counter("session.tests").inc()
+            tracer.metrics.counter("session.reports").inc()
         self._memo[key] = report
         if self.store is not None:
             self.store.put("report", key, report.to_dict())

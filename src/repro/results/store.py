@@ -18,8 +18,10 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 
 from repro.errors import AnalysisError
+from repro.obs.trace import get_tracer
 
 #: Bump when the envelope layout changes incompatibly; entries carrying
 #: any other stamp are treated as misses and recomputed.
@@ -68,6 +70,10 @@ class ArtifactStore:
         # (verdict stores hold thousands of small artifacts — scanning
         # on every put would make cold sweeps quadratic).
         self._approx_bytes = None
+        # Highest recency stamp this instance has written; _touch
+        # ratchets against it so a backwards wall-clock step cannot
+        # reorder this process's own LRU recency.
+        self._recency_clock = 0.0
         os.makedirs(self.root, exist_ok=True)
 
     # -- key/path plumbing -------------------------------------------------
@@ -95,11 +101,11 @@ class ArtifactStore:
             with open(path, "r", encoding="utf-8") as handle:
                 envelope = json.load(handle)
         except FileNotFoundError:
-            self.misses += 1
+            self._miss(kind)
             return None
         except Exception:
             self._discard(path)
-            self.misses += 1
+            self._miss(kind)
             return None
         if (
             not isinstance(envelope, dict)
@@ -109,11 +115,27 @@ class ArtifactStore:
             or "payload" not in envelope
         ):
             self._discard(path)
-            self.misses += 1
+            self._miss(kind)
             return None
         self._touch(path)
         self.hits += 1
+        tracer = get_tracer()
+        if tracer.enabled:
+            try:
+                size = os.path.getsize(path)
+            except OSError:
+                size = 0
+            tracer.event("cache.hit", tier="artifact", kind=kind, bytes=size)
+            tracer.metrics.counter("cache.artifact.hits").inc()
+            tracer.metrics.counter("cache.artifact.bytes_read").inc(size)
         return envelope["payload"]
+
+    def _miss(self, kind):
+        self.misses += 1
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event("cache.miss", tier="artifact", kind=kind)
+            tracer.metrics.counter("cache.artifact.misses").inc()
 
     def put(self, kind, key, payload):
         """Atomically publish ``payload`` (a JSON-serializable dict)
@@ -133,6 +155,16 @@ class ArtifactStore:
         except BaseException:
             self._discard(temp_path)
             raise
+        self._touch(self._path(kind, key))
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "cache.write", tier="artifact", kind=kind, bytes=len(data)
+            )
+            tracer.metrics.counter("cache.artifact.writes").inc()
+            tracer.metrics.counter(
+                "cache.artifact.bytes_written"
+            ).inc(len(data))
         if self.max_bytes is None:
             return
         if self._approx_bytes is None:
@@ -174,8 +206,6 @@ class ArtifactStore:
         """Remove temp files abandoned by processes killed mid-write
         (young ones may belong to a concurrent writer about to
         publish)."""
-        import time
-
         now = time.time()
         try:
             names = os.listdir(self.root)
@@ -209,12 +239,21 @@ class ArtifactStore:
             self._approx_bytes = total
             return
         stats.sort()  # oldest mtime first
+        tracer = get_tracer()
         for _, size, path in stats:
             if total <= self.max_bytes:
                 break
             if self._discard(path):
                 self.evictions += 1
                 total -= size
+                if tracer.enabled:
+                    tracer.event(
+                        "cache.evict", tier="artifact",
+                        entry=os.path.basename(path), bytes=size,
+                    )
+                    tracer.metrics.counter(
+                        "cache.artifact.evictions"
+                    ).inc()
         self._approx_bytes = total
 
     def clear(self):
@@ -224,10 +263,15 @@ class ArtifactStore:
         self._sweep_stale_temps(max_age=0.0)
         self._approx_bytes = 0
 
-    @staticmethod
-    def _touch(path):
+    def _touch(self, path):
+        # Recency must be monotonic within this instance: a plain
+        # os.utime uses the wall clock, which can step backwards and
+        # make a just-used entry look LRU-oldest. Ratchet the stamp so
+        # every touch/publish orders after the previous one.
+        stamp = max(time.time(), self._recency_clock + 1e-6)
+        self._recency_clock = stamp
         try:
-            os.utime(path)
+            os.utime(path, (stamp, stamp))
         except OSError:
             pass
 

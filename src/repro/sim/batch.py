@@ -212,13 +212,18 @@ def batch_simulate(
         raise SimulationError("n_uops must be positive")
     if n_traces <= 0:
         raise SimulationError("n_traces must be positive")
-    names, signatures, probabilities = path_distribution(
-        model, counters=counters, weights=weights, max_paths=max_paths
-    )
-    rng = np.random.default_rng(seed)
-    counts = rng.multinomial(n_uops, probabilities, size=n_traces)
-    totals = counts @ signatures
-    return BatchResult(model.name, names, totals, n_uops, seed)
+    from repro.obs.trace import get_tracer
+
+    with get_tracer().span(
+        "sim.batch", model=model.name, traces=n_traces, uops=n_uops
+    ):
+        names, signatures, probabilities = path_distribution(
+            model, counters=counters, weights=weights, max_paths=max_paths
+        )
+        rng = np.random.default_rng(seed)
+        counts = rng.multinomial(n_uops, probabilities, size=n_traces)
+        totals = counts @ signatures
+        return BatchResult(model.name, names, totals, n_uops, seed)
 
 
 def expected_totals(model, n_uops, counters=None, weights=None):

@@ -58,6 +58,7 @@ def simulate_observation(
     :class:`~repro.models.dataset.Observation`.
     """
     from repro.models.dataset import Observation
+    from repro.obs.trace import get_tracer
 
     mudd = as_mudd(model, name=name)
     if n_intervals < 2:
@@ -67,29 +68,34 @@ def simulate_observation(
         raise SimulationError(
             "%d µops cannot fill %d intervals" % (n_uops, n_intervals)
         )
-    if noisy and multiplexer is None:
-        multiplexer = default_multiplexer(seed=seed)
-    samples = simulate_interval_matrix(
-        mudd,
-        n_intervals,
-        per_interval,
-        weights=weights,
-        seed=seed,
-        multiplexer=multiplexer,
-    )
-    totals = samples.true_totals()
-    if remainder:
-        tail = batch_simulate(mudd, remainder, weights=weights, seed=seed + 1)
-        for counter, value in tail.observation(0).items():
-            totals[counter] += value
-    totals = {counter: int(value) for counter, value in totals.items()}
-    return Observation(
-        name or "sim:%s" % mudd.name,
-        "sim",
-        totals,
-        samples,
-        meta={"model": mudd.name, "n_uops": n_uops, "seed": seed},
-    )
+    with get_tracer().span(
+        "sim.observe", model=mudd.name, uops=n_uops, intervals=n_intervals
+    ):
+        if noisy and multiplexer is None:
+            multiplexer = default_multiplexer(seed=seed)
+        samples = simulate_interval_matrix(
+            mudd,
+            n_intervals,
+            per_interval,
+            weights=weights,
+            seed=seed,
+            multiplexer=multiplexer,
+        )
+        totals = samples.true_totals()
+        if remainder:
+            tail = batch_simulate(
+                mudd, remainder, weights=weights, seed=seed + 1
+            )
+            for counter, value in tail.observation(0).items():
+                totals[counter] += value
+        totals = {counter: int(value) for counter, value in totals.items()}
+        return Observation(
+            name or "sim:%s" % mudd.name,
+            "sim",
+            totals,
+            samples,
+            meta={"model": mudd.name, "n_uops": n_uops, "seed": seed},
+        )
 
 
 def simulate_dataset(

@@ -70,6 +70,7 @@ def test_top_level_help_lists_all_commands():
     for command in (
         "constraints", "analyze", "sweep", "compare", "render",
         "case-study", "simulate", "errata-check", "run", "plan", "show",
+        "trace",
     ):
         assert command in output
 
@@ -89,6 +90,22 @@ def test_subcommand_help_documents_runtime_flags(command):
 )
 def test_analysis_subcommands_offer_json_output(command):
     assert "--json" in _help_output(command)
+
+
+@pytest.mark.parametrize(
+    "command",
+    ["constraints", "analyze", "sweep", "compare", "case-study",
+     "simulate", "run", "plan", "show", "render", "errata-check"],
+)
+def test_every_subcommand_offers_tracing(command):
+    output = _help_output(command)
+    assert "--trace" in output
+    assert "--trace-format" in output
+
+
+def test_trace_summarize_help():
+    assert "summarize" in _help_output("trace")
+    assert "--json" in _help_output("trace", "summarize")
 
 
 @pytest.mark.parametrize("command", ["analyze", "sweep", "compare", "run"])

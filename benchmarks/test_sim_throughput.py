@@ -10,7 +10,18 @@ sweeps, so its two hot paths are benchmarked directly:
 * the **event-driven** path — the per-µop interpreter with the
   device-backed MMU oracle, which bounds how fast trace-replay
   simulations (and oracle-in-the-loop validation) can run.
+
+The per-µop path is additionally benchmarked per execution backend
+(interpreter / vector / codegen): the compiled backends must produce
+bit-identical totals and the best one must clear a hard speedup bar
+over the interpreter at bench scale (``test_sim_codegen_speedup``).
 """
+
+import json
+import os
+import time
+
+import pytest
 
 from repro.models import M_SERIES
 from repro.models.bundled import load_bundled_model
@@ -19,6 +30,32 @@ from repro.sim import MMUOracle, MuDDExecutor, RandomOracle, batch_simulate
 from repro.workloads import LinearAccessWorkload
 
 MERGE_WEIGHTS = {"Merged": {"Yes": 3.0, "No": 1.0}}
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_BASELINE_PATH = os.path.join(_REPO_ROOT, "BENCH_baseline.json")
+
+#: Headroom over the committed baseline median before the gate fires —
+#: CI machines vary widely; the shape of a real regression (a compiled
+#: backend degrading to interpreter speed) does not.
+_BASELINE_FACTOR = 25.0
+
+
+def _check_baseline(benchmark, key):
+    """Gate a backend benchmark against its ``BENCH_baseline.json``
+    entry (skipped when no baseline exists, so new machines record one
+    first)."""
+    try:
+        with open(_BASELINE_PATH, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle).get(key)
+    except (OSError, ValueError):
+        baseline = None
+    if baseline is None:
+        pytest.skip("no committed baseline for %s" % key)
+    median = benchmark.stats.stats.median
+    assert median < baseline * _BASELINE_FACTOR, (
+        "%s regressed: median %.6fs vs baseline %.6fs (x%.0f allowed)"
+        % (key, median, baseline, _BASELINE_FACTOR)
+    )
 
 
 def test_sim_throughput_batched_traces(benchmark):
@@ -69,3 +106,96 @@ def test_sim_throughput_random_oracle(benchmark):
 
     executor = benchmark(run)
     assert executor.n_uops == 20000
+
+
+def _backend_run(mudd, backend):
+    executor = MuDDExecutor(mudd, backend=backend)
+    executor.run(RandomOracle(seed=0, weights=MERGE_WEIGHTS), [None] * 20000)
+    return executor
+
+
+def test_sim_throughput_random_oracle_vector(benchmark):
+    """The vectorised backend on the interpreter-floor workload."""
+    mudd = load_bundled_model("merging_load_side")
+    executor = benchmark(_backend_run, mudd, "vector")
+    assert executor.n_uops == 20000
+    assert executor.snapshot() == _backend_run(mudd, "interpreter").snapshot()
+    _check_baseline(
+        benchmark,
+        "benchmarks/test_sim_throughput.py::"
+        "test_sim_throughput_random_oracle_vector",
+    )
+
+
+def test_sim_throughput_random_oracle_codegen(benchmark):
+    """The codegen backend on the interpreter-floor workload."""
+    mudd = load_bundled_model("merging_load_side")
+    executor = benchmark(_backend_run, mudd, "codegen")
+    assert executor.n_uops == 20000
+    assert executor.snapshot() == _backend_run(mudd, "interpreter").snapshot()
+    _check_baseline(
+        benchmark,
+        "benchmarks/test_sim_throughput.py::"
+        "test_sim_throughput_random_oracle_codegen",
+    )
+
+
+def _best_of(repeats, run):
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_sim_codegen_speedup():
+    """The best compiled backend clears 5x over the interpreter at bench
+    scale (20000 weighted-RandomOracle µops of merging_load_side).
+
+    Measured headroom is ~7x, so the bar survives CI noise; best-of-5
+    wall-clock keeps scheduler jitter out of the ratio.
+    """
+    mudd = load_bundled_model("merging_load_side")
+    _backend_run(mudd, "codegen")          # warm the program memo
+    interpreter = _best_of(5, lambda: _backend_run(mudd, "interpreter"))
+    codegen = _best_of(5, lambda: _backend_run(mudd, "codegen"))
+    assert codegen * 5 <= interpreter, (
+        "codegen %.4fs vs interpreter %.4fs (%.1fx, need >= 5x)"
+        % (codegen, interpreter, interpreter / codegen)
+    )
+
+
+def test_sim_auto_cold_start_overhead():
+    """``backend="auto"`` never loses to the interpreter by more than
+    compile cost on a cold single trace.
+
+    The model is built inline so nothing in the session has warmed its
+    program memo; the allowance (50 ms) is orders of magnitude above the
+    measured sub-millisecond compile.
+    """
+    from repro.dsl import compile_dsl
+
+    source = """
+    switch ProbeHit {
+      Yes => incr probe.hits;
+      No  => { incr probe.misses; incr probe.walks; done; }
+    };
+    done;
+    """
+    compile_cost_allowance = 0.05
+    interpreter_mudd = compile_dsl(source, name="cold_probe_interp")
+    started = time.perf_counter()
+    reference = MuDDExecutor(interpreter_mudd, backend="interpreter")
+    reference.run(RandomOracle(seed=0), [None])
+    interpreter_seconds = time.perf_counter() - started
+    auto_mudd = compile_dsl(source, name="cold_probe_auto")
+    started = time.perf_counter()
+    executor = MuDDExecutor(auto_mudd, backend="auto")
+    executor.run(RandomOracle(seed=0), [None])
+    auto_seconds = time.perf_counter() - started
+    assert executor.snapshot() == reference.snapshot()
+    assert auto_seconds <= interpreter_seconds + compile_cost_allowance, (
+        "auto cold start %.4fs vs interpreter %.4fs"
+        % (auto_seconds, interpreter_seconds)
+    )

@@ -395,6 +395,7 @@ def cmd_simulate(arguments):
             n_traces=arguments.traces,
             weights=weights,
             seed=arguments.seed,
+            backend=arguments.sim_backend,
         )
         print(
             "%d traces x %d µops of %s (mean totals):"
@@ -410,6 +411,7 @@ def cmd_simulate(arguments):
             weights=weights,
             seed=arguments.seed,
             noisy=arguments.noisy,
+            backend=arguments.sim_backend,
         )
         print("1 trace x %d µops of %s:" % (arguments.n_uops, model.name))
         if arguments.noisy:
@@ -467,6 +469,7 @@ def cmd_run(arguments):
         confidence=arguments.confidence,
         workers=arguments.workers,
         cache_dir=arguments.cache_dir or None,
+        sim_backend=arguments.sim_backend,
     ) as counterpoint:
         engine = counterpoint.plan_engine()
         if arguments.dry_run:
@@ -826,6 +829,12 @@ def build_parser():
                                   "'python -m repro plan ...')")
     run.add_argument("--backend", default="exact", choices=("exact", "scipy"),
                      help="LP backend for every verdict in the plan")
+    run.add_argument(
+        "--sim-backend", default="auto",
+        choices=("interpreter", "vector", "codegen", "auto"),
+        help="simulation engine for the plan's dataset ops (per-op "
+             "sim_backend in the plan JSON wins; identical observations "
+             "for every choice)")
     run.add_argument("--confidence", type=float, default=0.99,
                      help="confidence level for region-mode sweeps")
     run.add_argument("--dry-run", action="store_true",
@@ -936,6 +945,11 @@ def build_parser():
                                "against another model (exit 1 when refuted)")
     simulate.add_argument("--backend", default="exact", choices=("exact", "scipy"),
                           help="LP backend for --analyze verdicts")
+    simulate.add_argument(
+        "--sim-backend", default="auto",
+        choices=("interpreter", "vector", "codegen", "auto"),
+        help="simulation engine (identical totals for every choice; "
+             "compiled backends are faster on repeated or large runs)")
     _add_runtime_flags(
         simulate,
         "process-pool size for sharded sweeps (single-run simulation "

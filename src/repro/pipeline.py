@@ -70,6 +70,15 @@ class CounterPoint:
         and across runs. Requires the default ``cache=True`` (to
         combine a custom cache with a disk tier, pass
         ``cache=ModelConeCache(disk=cache_dir)`` instead).
+    sim_backend:
+        Simulation engine for :meth:`simulate` /
+        :meth:`simulate_dataset` (and plan ops that simulate):
+        ``"interpreter"`` (the bit-for-bit reference), ``"vector"``
+        (numpy-lowered skeleton walk), ``"codegen"`` (specialised
+        generated source, cached by µDD fingerprint), or ``"auto"``
+        (the default: codegen with vector fallback). Every choice
+        produces identical observations; only wall-clock differs. A
+        per-call ``backend=`` option still wins.
     trace:
         Observability (:mod:`repro.obs`). ``True`` builds a fresh
         enabled :class:`~repro.obs.Tracer`; an existing tracer may be
@@ -86,10 +95,14 @@ class CounterPoint:
     """
 
     def __init__(self, counters=None, backend="exact", confidence=0.99,
-                 cache=True, workers=1, cache_dir=None, trace=None):
+                 cache=True, workers=1, cache_dir=None, sim_backend="auto",
+                 trace=None):
+        from repro.sim.engines import resolve_backend
+
         self.counters = counters
         self.backend = backend
         self.confidence = confidence
+        self.sim_backend = resolve_backend(sim_backend)
         self.cache_dir = cache_dir
         if cache_dir is not None and cache is not True:
             # cache=False has nothing to attach a disk tier to, and an
@@ -313,13 +326,16 @@ class CounterPoint:
         ``model`` is anything :meth:`model_cone` accepts as a µDD source
         (µDD, DSL text) or a bundled-model name. Options pass through to
         :func:`repro.sim.simulate_observation` (``weights``, ``seed``,
-        ``noisy``, ``n_intervals``, ...). The result is an
+        ``noisy``, ``n_intervals``, ...). The pipeline's
+        ``sim_backend`` picks the execution engine unless the call
+        passes its own ``backend=``. The result is an
         :class:`~repro.models.dataset.Observation`: feed ``.point()`` to
         :meth:`analyze` or the object itself to :meth:`sweep`.
         """
         from repro.obs.trace import activate, tracer_for
         from repro.sim import simulate_observation
 
+        options.setdefault("backend", self.sim_backend)
         with activate(tracer_for(self)):
             return simulate_observation(model, n_uops=n_uops, **options)
 
@@ -331,11 +347,13 @@ class CounterPoint:
         reproducible; with ``workers > 1`` the runs are sharded across
         the process pool under the same per-run seeds (identical
         observations, faster wall-clock). Options pass through to
-        :func:`repro.sim.simulate_observation`.
+        :func:`repro.sim.simulate_observation`; the pipeline's
+        ``sim_backend`` applies unless overridden with ``backend=``.
         """
         from repro.obs.trace import activate, tracer_for
         from repro.sim import simulate_dataset
 
+        options.setdefault("backend", self.sim_backend)
         with activate(tracer_for(self)):
             if self._parallel() and n_observations > 1:
                 from repro.parallel import parallel_simulate_dataset

@@ -23,15 +23,24 @@ override, e.g. forcing a serial run on a ``workers=8`` pipeline.
 from repro.obs.trace import get_tracer
 
 
+def _sim_backend(pipeline, task):
+    """The engine a simulation task runs on: the task's own hint when
+    set, else the pipeline's ``sim_backend`` (``"auto"`` for pre-knob
+    pipelines). Never part of task identity — backends are
+    bit-identical."""
+    return task.sim_backend or getattr(pipeline, "sim_backend", "auto")
+
+
 class SerialScheduler:
     """Run every task in-process (the reference execution)."""
 
     def simulate(self, pipeline, task):
         from repro.sim import simulate_dataset
 
+        backend = _sim_backend(pipeline, task)
         with get_tracer().span(
             "sched.simulate", scheduler="serial",
-            runs=task.n_observations,
+            runs=task.n_observations, backend=backend,
         ):
             return simulate_dataset(
                 task.model,
@@ -40,6 +49,7 @@ class SerialScheduler:
                 weights=task.weights,
                 seed=task.seed,
                 noisy=task.noisy,
+                backend=backend,
             )
 
     def compute(self, session, cone, targets, use_regions, explain):
@@ -80,9 +90,10 @@ class PoolScheduler(SerialScheduler):
     def simulate(self, pipeline, task):
         from repro.parallel import parallel_simulate_dataset
 
+        backend = _sim_backend(pipeline, task)
         with get_tracer().span(
             "sched.simulate", scheduler="pool",
-            runs=task.n_observations,
+            runs=task.n_observations, backend=backend,
         ):
             return parallel_simulate_dataset(
                 self._runner(pipeline),
@@ -92,6 +103,7 @@ class PoolScheduler(SerialScheduler):
                 weights=task.weights,
                 seed=task.seed,
                 noisy=task.noisy,
+                backend=backend,
             )
 
     def compute(self, session, cone, targets, use_regions, explain):

@@ -10,7 +10,17 @@ Layer map
 ---------
 * :mod:`repro.sim.executor` — :class:`MuDDExecutor`: interprets a µDD
   edge-by-edge per µop, resolving decisions through an oracle and
-  accumulating counter totals (plus per-interval time series).
+  accumulating counter totals (plus per-interval time series). The
+  ``backend`` knob swaps the interpreter for a compiled engine with
+  bit-identical results.
+* :mod:`repro.sim.engines` — the vectorised compiled backend: lowers a
+  :class:`CompiledMuDD` into a decision skeleton (macro-edges between
+  decisions, numpy delta matrix) and walks it with per-decision sampler
+  closures (:data:`BACKENDS`, :func:`resolve_backend`).
+* :mod:`repro.sim.codegen` — the codegen backend: emits specialised
+  Python source per µDD (inlined branch dispatch, no per-edge dict
+  lookups), cached in-process and optionally on disk by µDD fingerprint
+  (:class:`CodegenDiskCache`, :func:`configure_codegen_cache`).
 * :mod:`repro.sim.oracles` — decision resolvers: seeded
   :class:`RandomOracle`, scripted :class:`TableOracle`, and the
   device-backed :class:`MMUOracle` that answers the Haswell model
@@ -41,6 +51,8 @@ Quick start::
 """
 
 from repro.sim.batch import BatchResult, batch_simulate, expected_totals, path_distribution
+from repro.sim.codegen import CodegenDiskCache, configure_codegen_cache
+from repro.sim.engines import BACKENDS, resolve_backend
 from repro.sim.executor import CompiledMuDD, MuDDExecutor
 from repro.sim.noise import default_multiplexer, noisy_samples, simulate_interval_matrix
 from repro.sim.oracles import MMUOracle, Oracle, PrefetchUop, RandomOracle, TableOracle
@@ -53,7 +65,9 @@ from repro.sim.scenarios import (
 )
 
 __all__ = [
+    "BACKENDS",
     "BatchResult",
+    "CodegenDiskCache",
     "CompiledMuDD",
     "MMUOracle",
     "MuDDExecutor",
@@ -64,10 +78,12 @@ __all__ = [
     "as_mudd",
     "batch_simulate",
     "closed_loop",
+    "configure_codegen_cache",
     "default_multiplexer",
     "expected_totals",
     "noisy_samples",
     "path_distribution",
+    "resolve_backend",
     "simulate_dataset",
     "simulate_interval_matrix",
     "simulate_observation",

@@ -18,12 +18,24 @@ and :func:`batch_simulate` turns that into batched observation vectors.
 This is the scenario-sweep fast path: thousands of traces or dozens of
 model variants per second, statistically indistinguishable from running
 the event-driven executor with the same weights, µop by µop.
+
+The ``backend`` knob (mirroring :class:`~repro.sim.executor.
+MuDDExecutor`'s) controls the distribution compile step: any compiled
+backend (``"vector"``/``"codegen"``/``"auto"``, the default) memoizes
+``path_distribution`` output per (µDD fingerprint, counters, weights),
+so dataset generation enumerates each model's µpaths once per process
+instead of once per observation. ``"interpreter"`` recomputes every
+call — the reference. Either way the draws are identical: the
+distribution is deterministic, and one ``rng.multinomial(U, p, size=T)``
+equals ``T`` sequential draws from the same generator (the
+batched-vs-loop parity ``tests/test_sim_equivalence.py`` pins).
 """
 
 import numpy as np
 
 from repro.errors import SimulationError
 from repro.mudd.graph import COUNTER, DECISION, END, MuDD
+from repro.sim.engines import resolve_backend
 
 
 def _branch_probabilities(prop, branches, weights):
@@ -128,6 +140,53 @@ def path_distribution(mudd, counters=None, weights=None, max_paths=2000000):
     return counters, signatures, probabilities
 
 
+#: Memoized path distributions, keyed by µDD fingerprint + counter
+#: ordering + canonical weights + path cap (the ``sim.compile`` moment
+#: of the batch path). Bounded FIFO; entries are immutable tuples.
+_DISTRIBUTION_MEMO = {}
+_DISTRIBUTION_MEMO_CAP = 128
+
+
+def _weights_token(weights):
+    """Canonical, hashable form of a weights mapping."""
+    return tuple(
+        (prop, tuple(sorted(table.items())))
+        for prop, table in sorted((weights or {}).items())
+    )
+
+
+def _distribution(model, counters, weights, max_paths, backend):
+    """``path_distribution`` through the compile memo (compiled
+    backends) or straight (interpreter)."""
+    if backend == "interpreter":
+        return path_distribution(
+            model, counters=counters, weights=weights, max_paths=max_paths
+        )
+    from repro.cone.cache import mudd_fingerprint
+
+    key = (
+        mudd_fingerprint(model, counters),
+        None if counters is None else tuple(counters),
+        _weights_token(weights),
+        max_paths,
+    )
+    cached = _DISTRIBUTION_MEMO.get(key)
+    if cached is not None:
+        return cached
+    from repro.obs.trace import get_tracer
+
+    with get_tracer().span("sim.compile", model=model.name, backend=backend):
+        names, signatures, probabilities = path_distribution(
+            model, counters=counters, weights=weights, max_paths=max_paths
+        )
+    signatures.setflags(write=False)
+    probabilities.setflags(write=False)
+    if len(_DISTRIBUTION_MEMO) >= _DISTRIBUTION_MEMO_CAP:
+        _DISTRIBUTION_MEMO.pop(next(iter(_DISTRIBUTION_MEMO)))
+    _DISTRIBUTION_MEMO[key] = (names, signatures, probabilities)
+    return _DISTRIBUTION_MEMO[key]
+
+
 class BatchResult:
     """Counter totals of a batch of simulated traces (``T x N``)."""
 
@@ -186,14 +245,18 @@ class BatchResult:
 
 
 def batch_simulate(
-    model, n_uops, n_traces=1, counters=None, weights=None, seed=0, max_paths=2000000
+    model, n_uops, n_traces=1, counters=None, weights=None, seed=0,
+    max_paths=2000000, backend="auto",
 ):
     """Simulate ``n_traces`` independent traces of ``n_uops`` µops each.
 
     ``model`` is a single µDD or a list of µDDs; a list returns
     ``{model_name: BatchResult}`` with every variant evaluated over the
     same trace count (one pass per model — the model-sweep batch mode).
+    ``backend`` picks the distribution compile step (see the module
+    docstring); every choice draws identical totals.
     """
+    backend = resolve_backend(backend)
     if isinstance(model, (list, tuple)):
         results = {}
         for variant_index, variant in enumerate(model):
@@ -205,6 +268,7 @@ def batch_simulate(
                 weights=weights,
                 seed=seed + variant_index,
                 max_paths=max_paths,
+                backend=backend,
             )
             results[result.model_name] = result
         return results
@@ -215,10 +279,11 @@ def batch_simulate(
     from repro.obs.trace import get_tracer
 
     with get_tracer().span(
-        "sim.batch", model=model.name, traces=n_traces, uops=n_uops
+        "sim.batch", model=model.name, traces=n_traces, uops=n_uops,
+        backend=backend,
     ):
-        names, signatures, probabilities = path_distribution(
-            model, counters=counters, weights=weights, max_paths=max_paths
+        names, signatures, probabilities = _distribution(
+            model, counters, weights, max_paths, backend
         )
         rng = np.random.default_rng(seed)
         counts = rng.multinomial(n_uops, probabilities, size=n_traces)

@@ -1,0 +1,577 @@
+"""The codegen backend: specialised Python source per µDD.
+
+Where :class:`~repro.sim.engines.VectorEngine` still dispatches each
+decision through dicts, this backend unrolls the µDD's *decision tree*
+— the skeleton expanded under the traversal rule, so a property
+resolved earlier on a path is statically followed, never re-asked —
+into one generated ``run_trace`` function: nested ``if``/``elif``
+branch dispatch on sampler-returned indices, a leaf bucket increment
+per µop, no per-edge dict lookups. Leaf buckets flush with one
+``counts @ leaf_deltas`` multiply, exactly like the vector engine's
+macro-edge buckets.
+
+Generated programs are content-addressed by the µDD fingerprint
+(:func:`repro.cone.cache.mudd_fingerprint` over the µDD plus counter
+ordering) in two tiers mirroring :class:`~repro.cone.diskcache.
+DiskConeCache`: an in-process memo of compiled code objects, and an
+optional on-disk :class:`CodegenDiskCache` of JSON payloads (source +
+leaf tables) with atomic writes, version stamps, corruption-as-miss,
+and LRU pruning. Point the disk tier somewhere with
+:func:`configure_codegen_cache` or the ``REPRO_CODEGEN_CACHE``
+environment variable.
+
+The tree form only runs when it provably cannot trip the ``max_steps``
+valve (``max_path_len <= max_steps``) and the tree stays under the
+expansion caps; anything else — device oracles with live hooks,
+pathological fan-out, tight step bounds — falls back to the inherited
+vector walk, which is bit-for-bit the interpreter.
+"""
+
+import json
+import os
+import tempfile
+import time
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.obs.trace import get_tracer
+from repro.sim.engines import VectorEngine, hooks_are_noops
+
+#: Bump when the generated-source contract or payload layout changes;
+#: old disk entries are then regenerated instead of trusted.
+CODEGEN_FORMAT_VERSION = 1
+
+_ENTRY_SUFFIX = ".codegen.json"
+_STALE_TMP_SECONDS = 600.0
+
+#: Expansion caps: beyond these the unrolled tree stops paying for
+#: itself (and deep nesting strains the Python parser), so the engine
+#: keeps the vector walk instead.
+MAX_TREE_NODES = 20000
+MAX_TREE_DEPTH = 60
+
+_DISPATCH_ERROR = (
+    "oracle resolved %s=%r but %r offers branches %s"
+)
+
+
+class CodegenDiskCache:
+    """Content-addressed directory of generated simulator programs.
+
+    Same contract as :class:`~repro.cone.diskcache.DiskConeCache`:
+    atomic ``os.replace`` publishes, version-stamped entries echoing
+    their own key, any read failure degrades to a miss, and file mtimes
+    (ratcheted monotonic per instance) drive LRU pruning.
+    """
+
+    def __init__(self, cache_dir, max_bytes=64 * 1024 * 1024,
+                 version=CODEGEN_FORMAT_VERSION):
+        if max_bytes is not None and max_bytes <= 0:
+            raise SimulationError("codegen cache max_bytes must be positive")
+        self.cache_dir = os.fspath(cache_dir)
+        self.max_bytes = max_bytes
+        self.version = version
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._recency_clock = 0.0
+        os.makedirs(self.cache_dir, exist_ok=True)
+
+    def _path(self, key):
+        return os.path.join(self.cache_dir, key + _ENTRY_SUFFIX)
+
+    def get(self, key):
+        """The cached payload dict for ``key``, or ``None`` (any
+        failure — missing, corrupt, wrong version, wrong key — is a
+        miss, and bad files are dropped)."""
+        path = self._path(key)
+        try:
+            with open(path, "r") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            self._miss()
+            return None
+        except Exception:
+            self._discard(path)
+            self._miss()
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != self.version
+            or payload.get("key") != key
+        ):
+            self._discard(path)
+            self._miss()
+            return None
+        self._touch(path)
+        self.hits += 1
+        tracer = get_tracer()
+        if tracer.enabled:
+            try:
+                size = os.path.getsize(path)
+            except OSError:
+                size = 0
+            tracer.event("cache.hit", tier="codegen", bytes=size)
+            tracer.metrics.counter("cache.codegen.hits").inc()
+        return payload
+
+    def _miss(self):
+        self.misses += 1
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event("cache.miss", tier="codegen")
+            tracer.metrics.counter("cache.codegen.misses").inc()
+
+    def put(self, key, payload):
+        """Atomically publish ``payload`` under ``key`` and prune."""
+        payload = dict(payload)
+        payload["version"] = self.version
+        payload["key"] = key
+        data = json.dumps(payload).encode("utf-8")
+        descriptor, temp_path = tempfile.mkstemp(
+            dir=self.cache_dir, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                handle.write(data)
+            os.replace(temp_path, self._path(key))
+        except BaseException:
+            self._discard(temp_path)
+            raise
+        self._touch(self._path(key))
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event("cache.write", tier="codegen", bytes=len(data))
+            tracer.metrics.counter("cache.codegen.writes").inc()
+        self.prune()
+
+    def __contains__(self, key):
+        return os.path.exists(self._path(key))
+
+    def __len__(self):
+        return len(self._entries())
+
+    def _entries(self):
+        try:
+            names = os.listdir(self.cache_dir)
+        except OSError:
+            return []
+        return [
+            os.path.join(self.cache_dir, name)
+            for name in names
+            if name.endswith(_ENTRY_SUFFIX)
+        ]
+
+    def total_bytes(self):
+        total = 0
+        for path in self._entries():
+            try:
+                total += os.path.getsize(path)
+            except OSError:
+                pass
+        return total
+
+    def _sweep_stale_temps(self, max_age=_STALE_TMP_SECONDS):
+        now = time.time()
+        try:
+            names = os.listdir(self.cache_dir)
+        except OSError:
+            return
+        for name in names:
+            if not name.endswith(".tmp"):
+                continue
+            path = os.path.join(self.cache_dir, name)
+            try:
+                if now - os.stat(path).st_mtime >= max_age:
+                    self._discard(path)
+            except OSError:
+                continue
+
+    def prune(self):
+        """Evict LRU entries until under ``max_bytes``."""
+        self._sweep_stale_temps()
+        if self.max_bytes is None:
+            return
+        stats = []
+        for path in self._entries():
+            try:
+                info = os.stat(path)
+            except OSError:
+                continue
+            stats.append((info.st_mtime, info.st_size, path))
+        total = sum(size for _, size, _ in stats)
+        if total <= self.max_bytes:
+            return
+        stats.sort()
+        tracer = get_tracer()
+        for _, size, path in stats:
+            if total <= self.max_bytes:
+                break
+            if self._discard(path):
+                self.evictions += 1
+                total -= size
+                if tracer.enabled:
+                    tracer.event(
+                        "cache.evict", tier="codegen",
+                        entry=os.path.basename(path), bytes=size,
+                    )
+                    tracer.metrics.counter("cache.codegen.evictions").inc()
+
+    def clear(self):
+        for path in self._entries():
+            self._discard(path)
+        self._sweep_stale_temps(max_age=0.0)
+
+    def _touch(self, path):
+        stamp = max(time.time(), self._recency_clock + 1e-6)
+        self._recency_clock = stamp
+        try:
+            os.utime(path, (stamp, stamp))
+        except OSError:
+            pass
+
+    @staticmethod
+    def _discard(path):
+        try:
+            os.unlink(path)
+            return True
+        except OSError:
+            return False
+
+    def __repr__(self):
+        return "CodegenDiskCache(%r, %d entries, %d hits, %d misses)" % (
+            self.cache_dir, len(self), self.hits, self.misses,
+        )
+
+
+# -- default cache wiring ---------------------------------------------------
+
+_DEFAULT_DISK_CACHE = None
+_DISK_CACHE_CONFIGURED = False
+
+
+def configure_codegen_cache(cache_dir, max_bytes=64 * 1024 * 1024):
+    """Set (or with ``None`` clear) the process-wide disk tier for
+    generated simulator programs. Overrides ``REPRO_CODEGEN_CACHE``."""
+    global _DEFAULT_DISK_CACHE, _DISK_CACHE_CONFIGURED
+    _DISK_CACHE_CONFIGURED = True
+    if cache_dir is None:
+        _DEFAULT_DISK_CACHE = None
+    else:
+        _DEFAULT_DISK_CACHE = CodegenDiskCache(cache_dir, max_bytes=max_bytes)
+    return _DEFAULT_DISK_CACHE
+
+
+def default_codegen_cache():
+    """The process-wide disk tier: whatever was configured, else the
+    ``REPRO_CODEGEN_CACHE`` directory, else ``None`` (memo only)."""
+    global _DEFAULT_DISK_CACHE, _DISK_CACHE_CONFIGURED
+    if not _DISK_CACHE_CONFIGURED:
+        _DISK_CACHE_CONFIGURED = True
+        env_dir = os.environ.get("REPRO_CODEGEN_CACHE")
+        if env_dir:
+            _DEFAULT_DISK_CACHE = CodegenDiskCache(env_dir)
+    return _DEFAULT_DISK_CACHE
+
+
+# -- tree building and source emission --------------------------------------
+
+class _TreeProgram:
+    """One generated simulator: source text, its compiled code object,
+    and the bind-time leaf tables."""
+
+    __slots__ = ("source", "code", "leaf_deltas", "errors", "decisions")
+
+    def __init__(self, source, leaf_deltas, errors, decisions):
+        self.source = source
+        self.code = compile(source, "<repro-codegen>", "exec")
+        self.leaf_deltas = np.asarray(leaf_deltas, dtype=np.int64)
+        self.errors = list(errors)
+        self.decisions = list(decisions)
+
+    def bind(self, samplers, counts):
+        """Exec the program and close it over this run's samplers and
+        leaf buckets; returns the ``run_trace(uops) -> n`` callable."""
+        namespace = {"SimulationError": SimulationError}
+        exec(self.code, namespace)
+        return namespace["bind"](samplers, counts, self.errors)
+
+    def payload(self):
+        return {
+            "source": self.source,
+            "leaf_deltas": [
+                [int(value) for value in row] for row in self.leaf_deltas
+            ],
+            "errors": list(self.errors),
+            "decisions": list(self.decisions),
+        }
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(
+            payload["source"],
+            payload["leaf_deltas"],
+            payload["errors"],
+            payload["decisions"],
+        )
+
+
+def _build_tree(skeleton):
+    """Expand the skeleton into the decision tree, or ``None`` when the
+    expansion caps are exceeded.
+
+    Returns ``(root, leaf_deltas, errors)``. Tree nodes are
+    ``("leaf", leaf_id)``, ``("raise", error_id)``, or
+    ``("dec", decision_node, [children in edge order])``. Repeated
+    properties are resolved statically: an already-assigned decision
+    contributes no child fan-out (and no sampler call), exactly the
+    interpreter's traversal rule.
+    """
+    n_counters = skeleton.delta_matrix.shape[1]
+    leaf_deltas = []
+    errors = []
+    budget = [MAX_TREE_NODES]
+
+    def expand(edge, assignments, deltas, depth):
+        if depth > MAX_TREE_DEPTH:
+            return None
+        budget[0] -= 1
+        if budget[0] < 0:
+            return None
+        deltas = [
+            deltas[i] + edge.deltas[i] for i in range(n_counters)
+        ]
+        terminal = edge.terminal
+        while terminal >= 0:
+            prop = skeleton.props[terminal]
+            assigned = assignments.get(prop)
+            if assigned is None:
+                break
+            # Statically follow the earlier assignment; a label the
+            # decision does not offer raises at runtime, like the
+            # interpreter's dispatch error.
+            nxt = skeleton.branch_edges[terminal].get(assigned)
+            if nxt is None:
+                errors.append(
+                    _DISPATCH_ERROR
+                    % (prop, assigned, skeleton.compiled.name,
+                       ", ".join(skeleton.values[terminal]))
+                )
+                return ("raise", len(errors) - 1)
+            budget[0] -= 1
+            if budget[0] < 0:
+                return None
+            deltas = [
+                deltas[i] + nxt.deltas[i] for i in range(n_counters)
+            ]
+            terminal = nxt.terminal
+        if terminal < 0:
+            leaf_deltas.append(deltas)
+            return ("leaf", len(leaf_deltas) - 1)
+        children = []
+        for label in skeleton.values[terminal]:
+            branch_assignments = dict(assignments)
+            branch_assignments[prop] = label
+            child = expand(
+                skeleton.branch_edges[terminal][label],
+                branch_assignments, deltas, depth + 1,
+            )
+            if child is None:
+                return None
+            children.append(child)
+        return ("dec", terminal, children)
+
+    root = expand(skeleton.start_edge, {}, [0] * n_counters, 0)
+    if root is None:
+        return None
+    return root, leaf_deltas, errors
+
+
+def _emit_source(root, decisions):
+    """Generated module source for a decision tree.
+
+    The module defines ``bind(samplers, counts, errors)`` returning
+    ``run_trace(uops)``: one sampler call per fresh decision on the
+    path, integer branch dispatch, one leaf bucket bump per µop.
+    """
+    lines = ["def bind(samplers, counts, errors):"]
+    lines.append("    def run_trace(uops):")
+    # Locals, not closure cells, inside the hot loop.
+    for node in decisions:
+        lines.append("        _s%d = samplers[%d]" % (node, node))
+    lines.append("        _counts = counts")
+    lines.append("        n = 0")
+    lines.append("        for _op in uops:")
+
+    def emit(node, indent):
+        pad = "    " * indent
+        kind = node[0]
+        if kind == "leaf":
+            lines.append("%s_counts[%d] += 1" % (pad, node[1]))
+            return
+        if kind == "raise":
+            lines.append(
+                "%sraise SimulationError(errors[%d])" % (pad, node[1])
+            )
+            return
+        _, decision, children = node
+        lines.append("%s_b = _s%d(_op)" % (pad, decision))
+        if len(children) == 1:
+            emit(children[0], indent)
+            return
+        for branch, child in enumerate(children):
+            if branch == 0:
+                lines.append("%sif _b == 0:" % pad)
+            elif branch < len(children) - 1:
+                lines.append("%selif _b == %d:" % (pad, branch))
+            else:
+                lines.append("%selse:" % pad)
+            emit(child, indent + 1)
+
+    emit(root, 3)
+    lines.append("            n += 1")
+    lines.append("        return n")
+    lines.append("    return run_trace")
+    return "\n".join(lines) + "\n"
+
+
+def _tree_decisions(root):
+    """Decision node ids a tree actually samples, in first-use order."""
+    seen = []
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node[0] != "dec":
+            continue
+        if node[1] not in seen:
+            seen.append(node[1])
+        stack.extend(reversed(node[2]))
+    return seen
+
+
+#: In-process memo of compiled programs, keyed by µDD fingerprint.
+#: ``False`` marks a µDD whose tree exceeded the expansion caps.
+_PROGRAM_MEMO = {}
+_PROGRAM_MEMO_CAP = 256
+
+
+def _program_for(skeleton, fingerprint, disk_cache):
+    """The generated program for a skeleton, through both cache tiers;
+    ``None`` when the tree form is unavailable for this µDD."""
+    cached = _PROGRAM_MEMO.get(fingerprint)
+    if cached is not None:
+        return cached or None
+    if disk_cache is not None:
+        payload = disk_cache.get(fingerprint)
+        if payload is not None:
+            try:
+                program = _TreeProgram.from_payload(payload)
+            except Exception:
+                program = None  # regenerate below
+            if program is not None:
+                _memoize(fingerprint, program)
+                return program
+    built = _build_tree(skeleton)
+    if built is None:
+        _memoize(fingerprint, False)
+        return None
+    root, leaf_deltas, errors = built
+    decisions = _tree_decisions(root)
+    source = _emit_source(root, decisions)
+    program = _TreeProgram(source, leaf_deltas, errors, decisions)
+    if disk_cache is not None:
+        disk_cache.put(fingerprint, program.payload())
+    _memoize(fingerprint, program)
+    return program
+
+
+def _memoize(fingerprint, program):
+    if len(_PROGRAM_MEMO) >= _PROGRAM_MEMO_CAP:
+        _PROGRAM_MEMO.pop(next(iter(_PROGRAM_MEMO)))
+    _PROGRAM_MEMO[fingerprint] = program
+
+
+class CodegenEngine(VectorEngine):
+    """The codegen backend.
+
+    Samplable oracles run the generated tree-form ``run_trace`` when it
+    provably cannot trip ``max_steps``; everything else inherits the
+    vector walk. Leaf buckets are deferred and flushed alongside the
+    macro-edge buckets.
+    """
+
+    name = "codegen"
+
+    def __init__(self, compiled, cache=None):
+        VectorEngine.__init__(self, compiled)
+        self._disk_cache = cache
+        self._program = None
+        self._program_resolved = False
+        self._counts = None
+        self._counts_dirty = False
+
+    def _resolve_program(self):
+        if not self._program_resolved:
+            self._program_resolved = True
+            cache = self._disk_cache
+            if cache is None:
+                cache = default_codegen_cache()
+            self._program = _program_for(
+                self.skeleton, self.skeleton.compiled.fingerprint, cache
+            )
+            if self._program is not None:
+                self._counts = [0] * len(self._program.leaf_deltas)
+        return self._program
+
+    def _run_samplable(self, oracle, uops, max_steps):
+        if self.skeleton.max_path_len <= max_steps:
+            program = self._resolve_program()
+            if program is not None:
+                runner = program.bind(self._samplers(oracle), self._counts)
+                n = runner(uops)
+                if n:
+                    self._counts_dirty = True
+                return n
+        return VectorEngine._run_samplable(self, oracle, uops, max_steps)
+
+    def flush(self, executor):
+        VectorEngine.flush(self, executor)
+        if not self._counts_dirty:
+            return
+        pending = (
+            np.asarray(self._counts, dtype=np.int64)
+            @ self._program.leaf_deltas
+        )
+        totals = executor.totals
+        for index, value in enumerate(pending):
+            if value:
+                totals[index] += int(value)
+        self._counts = [0] * len(self._program.leaf_deltas)
+        self._counts_dirty = False
+
+    def reset(self):
+        VectorEngine.reset(self)
+        if self._counts is not None:
+            self._counts = [0] * len(self._program.leaf_deltas)
+        self._counts_dirty = False
+
+
+def auto_engine(compiled, cache=None):
+    """The ``backend="auto"`` heuristic: codegen (it embeds the vector
+    walk as its own fallback, so it never loses more than compile cost),
+    dropping to plain vector only if program generation itself fails."""
+    try:
+        return CodegenEngine(compiled, cache=cache)
+    except Exception:
+        return VectorEngine(compiled)
+
+
+__all__ = [
+    "CODEGEN_FORMAT_VERSION",
+    "CodegenDiskCache",
+    "CodegenEngine",
+    "auto_engine",
+    "configure_codegen_cache",
+    "default_codegen_cache",
+]

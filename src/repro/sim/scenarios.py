@@ -46,6 +46,7 @@ def simulate_observation(
     multiplexer=None,
     noisy=False,
     name=None,
+    backend="auto",
 ):
     """Simulate one measured run of ``model``: exact totals plus a
     perf-style interval sample matrix.
@@ -55,7 +56,9 @@ def simulate_observation(
     draws. ``noisy=True`` (or an explicit ``multiplexer``) replays the
     interval stream through counter multiplexing so the samples carry
     realistic correlated noise. Returns an
-    :class:`~repro.models.dataset.Observation`.
+    :class:`~repro.models.dataset.Observation`. ``backend`` is the sim
+    backend knob (compiled backends memoize the model's µpath
+    distribution across runs; totals are identical for every choice).
     """
     from repro.models.dataset import Observation
     from repro.obs.trace import get_tracer
@@ -69,7 +72,8 @@ def simulate_observation(
             "%d µops cannot fill %d intervals" % (n_uops, n_intervals)
         )
     with get_tracer().span(
-        "sim.observe", model=mudd.name, uops=n_uops, intervals=n_intervals
+        "sim.observe", model=mudd.name, uops=n_uops, intervals=n_intervals,
+        backend=backend,
     ):
         if noisy and multiplexer is None:
             multiplexer = default_multiplexer(seed=seed)
@@ -80,11 +84,13 @@ def simulate_observation(
             weights=weights,
             seed=seed,
             multiplexer=multiplexer,
+            backend=backend,
         )
         totals = samples.true_totals()
         if remainder:
             tail = batch_simulate(
-                mudd, remainder, weights=weights, seed=seed + 1
+                mudd, remainder, weights=weights, seed=seed + 1,
+                backend=backend,
             )
             for counter, value in tail.observation(0).items():
                 totals[counter] += value
@@ -119,18 +125,21 @@ def simulate_dataset(
     )
 
 
-def trace_observation(model, oracle, workload, n_uops, n_intervals=20, name=None):
+def trace_observation(model, oracle, workload, n_uops, n_intervals=20,
+                      name=None, backend="interpreter"):
     """Simulate one run the event-driven way: execute the µDD over a
     workload's µop stream with a stateful (device) oracle, collecting
     per-interval deltas. This is the path real address traces take
-    (:class:`repro.workloads.trace.TraceWorkload` is a workload)."""
+    (:class:`repro.workloads.trace.TraceWorkload` is a workload).
+    ``backend`` selects the :class:`MuDDExecutor` engine — identical
+    observations, different wall-clock."""
     from repro.models.dataset import Observation
 
     mudd = as_mudd(model, name=name)
     if n_intervals < 2:
         raise SimulationError("need at least 2 intervals per observation")
     per_interval = max(1, n_uops // n_intervals)
-    executor = MuDDExecutor(mudd)
+    executor = MuDDExecutor(mudd, backend=backend)
     intervals = list(
         executor.run_intervals(oracle, workload.ops(n_uops), per_interval)
     )
@@ -146,7 +155,7 @@ def trace_observation(model, oracle, workload, n_uops, n_intervals=20, name=None
 
 def closed_loop(observed_model, candidate_models, n_uops=20000, weights=None,
                 seed=0, backend="exact", use_regions=False, confidence=0.99,
-                workers=1, cache_dir=None):
+                workers=1, cache_dir=None, sim_backend="auto"):
     """Simulate observations from one model; test every candidate.
 
     Returns ``{candidate_name: AnalysisReport}``. The observed model
@@ -162,13 +171,15 @@ def closed_loop(observed_model, candidate_models, n_uops=20000, weights=None,
     ever been refuted) even across processes and CI runs. With
     ``workers > 1`` the candidate loop shards across a process pool
     (:func:`repro.parallel.parallel_closed_loop`) with identical
-    results.
+    results. ``backend`` is the LP backend; ``sim_backend`` the
+    simulation engine knob (identical observations for every choice).
     """
     from repro.cone.cache import get_model_cone
     from repro.pipeline import CounterPoint
 
     observation = simulate_observation(
-        observed_model, n_uops=n_uops, weights=weights, seed=seed, noisy=use_regions
+        observed_model, n_uops=n_uops, weights=weights, seed=seed,
+        noisy=use_regions, backend=sim_backend,
     )
     candidate_models = list(candidate_models)
     if workers is None or workers > 1:

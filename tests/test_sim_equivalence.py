@@ -1,0 +1,305 @@
+"""Differential fuzzing: every execution backend is bit-for-bit equal.
+
+The interpreter (:class:`~repro.sim.executor.MuDDExecutor` with
+``backend="interpreter"``) is the reference semantics; the vectorised
+and codegen backends must reproduce it exactly — same counter totals,
+same per-µop assignments, same event streams, same RNG consumption,
+same error messages. These sweeps drive all three over hundreds of
+seeded random µDDs (``tests/sim_fuzz.py``) and a zoo of oracles.
+
+``SIM_EQUIV_SEED`` (CI rotates it daily) offsets every sweep's seed
+range, so the suite explores new models over time while any failure
+stays reproducible from the seed in the assertion message.
+"""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.mudd.graph import COUNTER, DECISION, END, START, MuDD
+from repro.sim import (
+    BACKENDS,
+    CompiledMuDD,
+    MuDDExecutor,
+    RandomOracle,
+    TableOracle,
+    batch_simulate,
+    path_distribution,
+    resolve_backend,
+)
+from sim_fuzz import (
+    constant_table,
+    observed_counters,
+    random_mudd,
+    random_weights,
+)
+
+BASE_SEED = int(os.environ.get("SIM_EQUIV_SEED", "0"))
+
+FAST_BACKENDS = ("vector", "codegen", "auto")
+
+
+def _run_totals(mudd, backend, seed, weights, counters, n_uops):
+    executor = MuDDExecutor(mudd, counters=counters, backend=backend)
+    oracle = RandomOracle(seed=seed, weights=weights)
+    totals = executor.run(oracle, range(n_uops))
+    return totals, executor.n_uops
+
+
+def test_differential_fuzz_totals():
+    """≥200 random µDDs: totals and µop counts agree on every backend."""
+    for case in range(200):
+        seed = BASE_SEED + case
+        mudd = random_mudd(seed)
+        weights = random_weights(seed, mudd)
+        counters = observed_counters(seed, mudd) if case % 3 == 0 else None
+        reference, ref_uops = _run_totals(
+            mudd, "interpreter", seed, weights, counters, n_uops=40
+        )
+        for backend in FAST_BACKENDS:
+            totals, n_uops = _run_totals(
+                mudd, backend, seed, weights, counters, n_uops=40
+            )
+            assert totals == reference, (seed, backend, totals, reference)
+            assert n_uops == ref_uops, (seed, backend)
+
+
+def test_differential_fuzz_assignments():
+    """Per-µop assignment dicts agree µop by µop."""
+    for case in range(60):
+        seed = BASE_SEED + 1000 + case
+        mudd = random_mudd(seed)
+        weights = random_weights(seed, mudd)
+        executors = {
+            backend: MuDDExecutor(mudd, backend=backend)
+            for backend in BACKENDS
+        }
+        oracles = {
+            backend: RandomOracle(seed=seed, weights=weights)
+            for backend in BACKENDS
+        }
+        for op in range(25):
+            reference = executors["interpreter"].run_uop(
+                oracles["interpreter"], op
+            )
+            for backend in FAST_BACKENDS:
+                assignments = executors[backend].run_uop(oracles[backend], op)
+                assert assignments == reference, (seed, backend, op)
+        reference_totals = executors["interpreter"].snapshot()
+        for backend in FAST_BACKENDS:
+            assert executors[backend].snapshot() == reference_totals, (
+                seed, backend,
+            )
+
+
+class _RecordingOracle(RandomOracle):
+    """A random oracle that also records fired events (its ``on_event``
+    hook makes it ineligible for sampler compilation, forcing the
+    compiled backends down their generic-walk path)."""
+
+    def __init__(self, seed=0, weights=None):
+        RandomOracle.__init__(self, seed=seed, weights=weights)
+        self.events = []
+
+    def on_event(self, label, op):
+        self.events.append((label, op))
+
+
+def test_differential_fuzz_event_streams():
+    """Event hooks fire identically (label, µop, order) on every backend."""
+    fired_any = 0
+    for case in range(60):
+        seed = BASE_SEED + 2000 + case
+        mudd = random_mudd(seed, p_event=0.4)
+        weights = random_weights(seed, mudd)
+        reference = _RecordingOracle(seed=seed, weights=weights)
+        ref_totals = MuDDExecutor(mudd, backend="interpreter").run(
+            reference, range(30)
+        )
+        fired_any += bool(reference.events)
+        for backend in FAST_BACKENDS:
+            oracle = _RecordingOracle(seed=seed, weights=weights)
+            totals = MuDDExecutor(mudd, backend=backend).run(oracle, range(30))
+            assert totals == ref_totals, (seed, backend)
+            assert oracle.events == reference.events, (seed, backend)
+    assert fired_any > 10  # the sweep actually exercised event nodes
+
+
+def test_differential_fuzz_table_oracles():
+    """Scripted oracles: constants, callables, and fallback chains."""
+    for case in range(60):
+        seed = BASE_SEED + 3000 + case
+        mudd = random_mudd(seed, full_domains=True)
+        table = constant_table(seed, mudd)
+        if case % 2:
+            # Scripted per-µop behaviour: replace one constant with a
+            # callable picking branches by µop index.
+            for prop in sorted(table):
+                table[prop] = lambda op, values: sorted(values)[
+                    op % len(values)
+                ]
+                break
+
+        def build():
+            return TableOracle(dict(table), fallback=RandomOracle(seed=seed))
+
+        reference = MuDDExecutor(mudd, backend="interpreter").run(
+            build(), range(30)
+        )
+        for backend in FAST_BACKENDS:
+            totals = MuDDExecutor(mudd, backend=backend).run(
+                build(), range(30)
+            )
+            assert totals == reference, (seed, backend)
+
+
+def test_batched_multinomial_matches_per_trace_loop():
+    """One ``multinomial(size=T)`` call equals T sequential draws, so
+    ``batch_simulate`` totals are loop-equivalent on every backend."""
+    for case in range(6):
+        seed = BASE_SEED + 4000 + case
+        mudd = random_mudd(seed)
+        weights = random_weights(seed, mudd)
+        names, signatures, probabilities = path_distribution(
+            mudd, weights=weights
+        )
+        rng = np.random.default_rng(seed)
+        expected = rng.multinomial(500, probabilities, size=4) @ signatures
+        for backend in BACKENDS:
+            result = batch_simulate(
+                mudd, 500, n_traces=4, weights=weights, seed=seed,
+                backend=backend,
+            )
+            assert result.counters == names
+            assert np.array_equal(result.totals, expected), (seed, backend)
+        loop_rng = np.random.default_rng(seed)
+        looped = np.stack([
+            loop_rng.multinomial(500, probabilities) @ signatures
+            for _ in range(4)
+        ])
+        assert np.array_equal(looped, expected), seed
+
+
+def _chain_mudd(length):
+    """START → COUNTER×length → DECISION → END: every µop walks more
+    than ``length`` non-HALT nodes."""
+    mudd = MuDD("chain-%d" % length)
+    node = mudd.add_node(START)
+    for step in range(length):
+        counter = mudd.add_node(COUNTER, "ctr.step")
+        mudd.add_edge(node, counter)
+        node = counter
+    decision = mudd.add_node(DECISION, "Hit")
+    mudd.add_edge(node, decision)
+    for value in ("Yes", "No"):
+        mudd.add_edge(decision, mudd.add_node(END), value=value)
+    return mudd
+
+
+def test_max_steps_valve_identical_across_backends():
+    """The runaway-walk valve trips with the interpreter's exact message
+    on every backend (regression: compiled walks must count steps the
+    same way, including the terminal decision)."""
+    mudd = _chain_mudd(6)
+    messages = {}
+    for backend in BACKENDS:
+        executor = MuDDExecutor(mudd, max_steps=4, backend=backend)
+        with pytest.raises(SimulationError) as excinfo:
+            executor.run(RandomOracle(seed=1), range(3))
+        messages[backend] = str(excinfo.value)
+    assert len(set(messages.values())) == 1, messages
+    assert "exceeded 4 steps" in messages["interpreter"]
+    # A generous valve never trips.
+    for backend in BACKENDS:
+        executor = MuDDExecutor(mudd, max_steps=100, backend=backend)
+        executor.run(RandomOracle(seed=1), range(3))
+        assert executor.snapshot()["ctr.step"] == 18
+
+
+def test_max_steps_valve_on_fuzz_models():
+    """Backends agree on *whether* the valve trips, and on the message
+    when it does, across random models with a tight budget."""
+    tripped = 0
+    for case in range(40):
+        seed = BASE_SEED + 5000 + case
+        mudd = random_mudd(seed, max_depth=8, p_end=0.05)
+
+        def outcome(backend):
+            executor = MuDDExecutor(mudd, max_steps=3, backend=backend)
+            try:
+                return ("ok", executor.run(RandomOracle(seed=seed), range(10)))
+            except SimulationError as error:
+                return ("raise", str(error))
+
+        reference = outcome("interpreter")
+        tripped += reference[0] == "raise"
+        for backend in FAST_BACKENDS:
+            assert outcome(backend) == reference, (seed, backend)
+    assert tripped > 5  # the sweep actually exercised the valve
+
+
+def test_branch_values_edge_order_is_stable():
+    """``CompiledMuDD.branch_values`` preserves µDD edge insertion order
+    — the contract sampler dispatch indices rely on — across repeated
+    compiles and pickle round-trips."""
+    mudd = MuDD("branch-order")
+    start = mudd.add_node(START)
+    decision = mudd.add_node(DECISION, "Level")
+    mudd.add_edge(start, decision)
+    for value in ("Mem", "L1", "L2"):     # deliberately unsorted
+        counter = mudd.add_node(COUNTER, "ctr.%s" % value)
+        mudd.add_edge(decision, counter, value=value)
+        mudd.add_edge(counter, mudd.add_node(END))
+
+    def decision_orders(compiled):
+        return [
+            compiled.branch_values(node)
+            for node in range(len(compiled.ops))
+            if compiled.branches[node]
+        ]
+
+    compiled = CompiledMuDD(mudd)
+    assert decision_orders(compiled) == [["Mem", "L1", "L2"]]
+    assert decision_orders(CompiledMuDD(mudd)) == decision_orders(compiled)
+    clone = pickle.loads(pickle.dumps(compiled))
+    assert decision_orders(clone) == decision_orders(compiled)
+    assert clone.fingerprint == compiled.fingerprint
+    # And the executor accepts the round-tripped compile on every backend.
+    reference = MuDDExecutor(compiled, backend="interpreter").run(
+        RandomOracle(seed=3), range(50)
+    )
+    for backend in FAST_BACKENDS:
+        assert MuDDExecutor(clone, backend=backend).run(
+            RandomOracle(seed=3), range(50)
+        ) == reference
+
+
+def test_resolve_backend_rejects_unknown_names():
+    for backend in BACKENDS:
+        assert resolve_backend(backend) == backend
+    with pytest.raises(SimulationError) as excinfo:
+        resolve_backend("warp")
+    assert "unknown sim backend" in str(excinfo.value)
+
+
+def test_batch_backends_share_identical_observations():
+    """The scenario layer produces byte-identical observations for every
+    backend choice (the knob is wall-clock only)."""
+    from repro.sim import simulate_observation
+
+    reference = simulate_observation(
+        "merging_load_side", n_uops=1500, seed=BASE_SEED % 97,
+        backend="interpreter",
+    )
+    for backend in FAST_BACKENDS:
+        observation = simulate_observation(
+            "merging_load_side", n_uops=1500, seed=BASE_SEED % 97,
+            backend=backend,
+        )
+        assert observation.point() == reference.point(), backend
+        assert np.array_equal(
+            observation.samples.samples, reference.samples.samples
+        ), backend

@@ -48,11 +48,18 @@ from repro.results import (
     AnalysisReport,
     AnalysisSession,
     ArtifactStore,
+    ClaimTable,
     CompareResult,
     ModelSweep,
     RefutationMatrix,
     result_from_dict,
     result_from_json,
+)
+from repro.serve import (
+    PlanService,
+    QueueScheduler,
+    ServeClient,
+    ServeDaemon,
 )
 from repro.sim import (
     MMUOracle,
@@ -64,12 +71,13 @@ from repro.sim import (
 )
 from repro.stats import ConfidenceRegion, PointRegion
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "AnalysisReport",
     "AnalysisSession",
     "ArtifactStore",
+    "ClaimTable",
     "CompareResult",
     "ConfidenceRegion",
     "CounterPoint",
@@ -84,9 +92,13 @@ __all__ = [
     "Plan",
     "PlanEngine",
     "PlanResult",
+    "PlanService",
     "PointRegion",
+    "QueueScheduler",
     "RandomOracle",
     "RefutationMatrix",
+    "ServeClient",
+    "ServeDaemon",
     "Tracer",
     "activate",
     "batch_simulate",

@@ -35,6 +35,15 @@ Commands
     Reduce a ``--trace`` JSONL file to a plain-text breakdown: span
     totals, cache hit-rates per tier, and the LP solve-time histogram
     (``--json`` emits the summary dict instead).
+``serve [--host --port --workers --cache-dir --max-queue]``
+    Run the :mod:`repro.serve` daemon: POST plans over HTTP, stream
+    progress, cancel, fetch results — all tenants share one
+    content-addressed task space with weighted-fair scheduling.
+``submit <plan.json> [--tenant --priority --wait]`` /
+``status [job]`` / ``fetch <job> [-o out.json]`` / ``cancel <job>``
+    The client side of ``serve`` (all take ``--url``): submit a plan to
+    a running daemon, watch it, download the canonical result bundle,
+    or cancel it.
 ``simulate <model.dsl | --bundled name> [--n-uops N] [--traces T]``
     Execute a µDD with the :mod:`repro.sim` engine and print synthetic
     counter totals. ``--weight Prop=Value:W`` biases branch choices,
@@ -573,6 +582,121 @@ def cmd_show(arguments):
     return 0
 
 
+def cmd_serve(arguments):
+    """Run the multi-tenant analysis daemon until interrupted."""
+    from repro.serve import PlanService, ServeDaemon
+
+    service = PlanService(
+        workers=arguments.workers,
+        max_queue=arguments.max_queue,
+        cache_dir=arguments.cache_dir or None,
+        backend=arguments.backend,
+        sim_backend=arguments.sim_backend,
+    )
+    daemon = ServeDaemon(service, host=arguments.host, port=arguments.port)
+    print("repro serve listening on %s (workers=%d, max-queue=%d%s)" % (
+        daemon.url, arguments.workers, arguments.max_queue,
+        ", cache-dir=%s" % arguments.cache_dir if arguments.cache_dir
+        else "",
+    ))
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+        daemon.close()
+    return 0
+
+
+def _serve_client(arguments):
+    from repro.serve import ServeClient
+
+    return ServeClient(
+        arguments.url, tenant=getattr(arguments, "tenant", "anon"),
+    )
+
+
+def cmd_submit(arguments):
+    """POST a plan JSON file to a serve daemon."""
+    import json
+
+    client = _serve_client(arguments)
+    with open(arguments.plan, "r", encoding="utf-8") as handle:
+        plan = handle.read()
+    status = client.submit(plan, priority=arguments.priority)
+    if arguments.wait:
+        status = client.wait(status["id"], timeout=arguments.timeout)
+    if arguments.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+    else:
+        print("job %s: %s" % (status["id"], status["state"]))
+        if status.get("errors"):
+            for entry in status["errors"]:
+                print("  op %s failed: %s" % (entry["op"], entry["error"]))
+    return 0 if status["state"] not in ("failed", "cancelled") else 1
+
+
+def cmd_status(arguments):
+    """Report one job's state (or every job the daemon knows)."""
+    import json
+
+    client = _serve_client(arguments)
+    if arguments.job:
+        status = client.status(arguments.job)
+        if arguments.json:
+            print(json.dumps(status, indent=2, sort_keys=True))
+        else:
+            print("job %s (tenant %s): %s" % (
+                status["id"], status["tenant"], status["state"],
+            ))
+            progress = status.get("progress", {})
+            print("  %d batches queued, %d executed" % (
+                progress.get("queued", 0), progress.get("executed", 0),
+            ))
+            if status.get("stats"):
+                print("  " + _render_plan_stats(status["stats"]))
+            if status.get("error"):
+                print("  error: %s" % status["error"])
+        return 0
+    jobs = client.jobs()
+    if arguments.json:
+        print(json.dumps(jobs, indent=2, sort_keys=True))
+    else:
+        for status in jobs:
+            print("%-12s %-10s %-9s %s" % (
+                status["id"], status["tenant"], status["state"],
+                status.get("error", ""),
+            ))
+    return 0
+
+
+def _render_plan_stats(stats):
+    return ("%(computed)d computed, %(memo_hits)d memo hits, "
+            "%(store_hits)d store hits" % stats)
+
+
+def cmd_fetch(arguments):
+    """Download a finished job's canonical PlanResult bundle."""
+    client = _serve_client(arguments)
+    text = client.result_text(arguments.job)
+    if arguments.output:
+        with open(arguments.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print("wrote %s" % arguments.output)
+    else:
+        print(text)
+    return 0
+
+
+def cmd_cancel(arguments):
+    """Request cooperative cancellation of a job."""
+    client = _serve_client(arguments)
+    status = client.cancel(arguments.job)
+    print("job %s: %s (cancellation requested)" % (
+        status["id"], status["state"],
+    ))
+    return 0
+
+
 def _add_runtime_flags(subparser, workers_help):
     """The shared performance knobs (``--workers``, ``--cache-dir``)."""
     subparser.add_argument(
@@ -1004,6 +1128,140 @@ def build_parser():
                            help="emit the summary dict as JSON instead "
                                 "of the table")
     summarize.set_defaults(handler=cmd_trace_summarize)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the multi-tenant analysis daemon",
+        description="Run the repro.serve HTTP daemon: clients POST plan "
+                    "JSON to /v1/plans and get a job id back, poll or "
+                    "stream per-cell progress, cancel jobs, and fetch "
+                    "canonical PlanResult bundles. All tenants share one "
+                    "content-addressed task space — overlapping plans "
+                    "compute each cell exactly once (per daemon lifetime, "
+                    "or ever with --cache-dir) — scheduled with weighted "
+                    "fair sharing across tenants and priority classes. "
+                    "Submissions beyond --max-queue are rejected with "
+                    "HTTP 429 + Retry-After.",
+        epilog="examples:\n"
+               "  python -m repro serve --port 8651 --workers 4 "
+               "--cache-dir .repro-cache\n"
+               "  python -m repro serve --host 0.0.0.0 --max-queue 32",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="interface to bind")
+    serve.add_argument("--port", type=int, default=8651,
+                       help="TCP port to bind (0 picks an ephemeral port)")
+    serve.add_argument("--max-queue", type=int, default=16, metavar="N",
+                       help="admission bound: jobs queued or running "
+                            "beyond this are rejected with HTTP 429 + "
+                            "Retry-After (backpressure)")
+    serve.add_argument("--backend", default="exact",
+                       choices=("exact", "scipy"),
+                       help="LP backend for every verdict the daemon "
+                            "computes")
+    serve.add_argument(
+        "--sim-backend", default="auto",
+        choices=("interpreter", "vector", "codegen", "auto"),
+        help="simulation engine for plans' dataset ops")
+    _add_runtime_flags(
+        serve, "worker threads draining the shared fair queue (cell "
+               "batches from every tenant's jobs)")
+    serve.set_defaults(handler=cmd_serve)
+
+    def add_client_flags(subparser):
+        """Daemon-address flags shared by the client commands."""
+        subparser.add_argument(
+            "--url", default="http://127.0.0.1:8651",
+            help="base URL of the serve daemon")
+
+    submit = commands.add_parser(
+        "submit",
+        help="POST a plan to a serve daemon",
+        description="Submit a serialized repro.plan spec to a running "
+                    "'repro serve' daemon and print the job id. The "
+                    "daemon deduplicates against every other tenant's "
+                    "work: cells any earlier job computed are cache "
+                    "hits. With --wait, block until the job finishes "
+                    "(exit 1 when it failed or was cancelled).",
+        epilog="examples:\n"
+               "  python -m repro submit examples/plans/closed_loop.json\n"
+               "  python -m repro submit plan.json --tenant alice "
+               "--priority high --wait\n"
+               "  python -m repro submit plan.json --url "
+               "http://analysis-host:8651 --json",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    submit.add_argument("plan", help="plan JSON file (author one with "
+                                     "'python -m repro plan ...')")
+    add_client_flags(submit)
+    submit.add_argument("--tenant", default="anon",
+                        help="tenant identity for fair-share scheduling "
+                             "and per-tenant metrics")
+    submit.add_argument("--priority", default="normal",
+                        choices=("high", "normal", "low"),
+                        help="priority class (weighted fair share, never "
+                             "starvation)")
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the job reaches a terminal state")
+    submit.add_argument("--timeout", type=float, default=300.0,
+                        help="seconds to block with --wait")
+    submit.add_argument("--json", action="store_true",
+                        help="print the full job status document as JSON")
+    submit.set_defaults(handler=cmd_submit)
+
+    status = commands.add_parser(
+        "status",
+        help="report serve job states",
+        description="Report one job's state, progress, and cache "
+                    "statistics — or, without a job id, list every job "
+                    "the daemon knows, most recent first.",
+        epilog="examples:\n"
+               "  python -m repro status\n"
+               "  python -m repro status job-000001 --json",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    status.add_argument("job", nargs="?", default=None,
+                        help="job id (omit to list all jobs)")
+    add_client_flags(status)
+    status.add_argument("--json", action="store_true",
+                        help="print status documents as JSON")
+    status.set_defaults(handler=cmd_status)
+
+    fetch = commands.add_parser(
+        "fetch",
+        help="download a finished job's result bundle",
+        description="Download the canonical PlanResult bundle of a "
+                    "finished job — the same schema 'repro run --json' "
+                    "emits, loadable with 'repro show'. Identical "
+                    "submitted plans fetch byte-identical bundles.",
+        epilog="examples:\n"
+               "  python -m repro fetch job-000001 -o result.json\n"
+               "  python -m repro fetch job-000001 | python -m repro "
+               "show /dev/stdin",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    fetch.add_argument("job", help="job id")
+    add_client_flags(fetch)
+    fetch.add_argument("-o", "--output",
+                       help="output .json path (stdout if omitted)")
+    fetch.set_defaults(handler=cmd_fetch)
+
+    cancel = commands.add_parser(
+        "cancel",
+        help="cancel a serve job",
+        description="Request cooperative cancellation of a job: queued "
+                    "jobs cancel at admission, running jobs at the next "
+                    "batch boundary. Cells already computed stay in the "
+                    "shared store, so re-submitting the same plan "
+                    "resumes where the cancelled job stopped.",
+        epilog="example:\n"
+               "  python -m repro cancel job-000001",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    cancel.add_argument("job", help="job id")
+    add_client_flags(cancel)
+    cancel.set_defaults(handler=cmd_cancel)
 
     # Every command records: --trace/--trace-format are universal, like
     # --help. (Except the trace tooling itself, which reads trace files

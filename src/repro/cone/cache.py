@@ -23,6 +23,7 @@ as :func:`repro.sim.scenarios.closed_loop`.
 """
 
 import hashlib
+import threading
 from collections import OrderedDict
 
 from repro.cone.model_cone import ModelCone
@@ -84,12 +85,13 @@ class ModelConeCache:
     """An LRU of :class:`ModelCone` objects keyed by µDD content, with
     an optional persistent on-disk tier behind it.
 
-    Thread-unsafe by design (the pipeline is single-threaded); sharing
-    across :class:`CounterPoint` instances is safe because cached cones
-    are treated as immutable by all callers. The *disk* tier
-    (:class:`repro.cone.diskcache.DiskConeCache`) is safe to share
-    between concurrent processes — pool workers warming one directory
-    each publish entries atomically.
+    :meth:`get` is serialized by a lock so the cache may be shared
+    between threads (the serve daemon runs concurrent jobs against one
+    pipeline); sharing across :class:`CounterPoint` instances is safe
+    because cached cones are treated as immutable by all callers. The
+    *disk* tier (:class:`repro.cone.diskcache.DiskConeCache`) is safe
+    to share between concurrent processes — pool workers warming one
+    directory each publish entries atomically.
 
     Parameters
     ----------
@@ -107,6 +109,7 @@ class ModelConeCache:
         if maxsize <= 0:
             raise AnalysisError("cache maxsize must be positive")
         self.maxsize = maxsize
+        self._lock = threading.RLock()
         self._entries = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -151,37 +154,43 @@ class ModelConeCache:
         (or concurrent pool workers) load it instead of rebuilding.
         """
         key = (mudd_fingerprint(mudd, counters=counters), max_paths)
-        entry = self._entries.get(key)
-        if entry is not None:
-            self.hits += 1
-            self._entries.move_to_end(key)
-            # Constraint deduction ran after the disk copy was written:
-            # rewrite so no future process ever deduces this model again.
-            if key in self._undeduced and entry.has_deduced_constraints():
-                self._write_back(key, entry)
-            return entry
-        self.misses += 1
-        cone = None
-        if self.disk is not None:
-            cone = self.disk.get(key)
-            if cone is not None and not cone.has_deduced_constraints():
-                # The disk copy predates deduction; if this process (or
-                # a later one through us) deduces, persist that too.
-                self._undeduced.add(key)
-        if cone is None:
-            cone = ModelCone.from_mudd(mudd, counters=counters, max_paths=max_paths)
-            self.builds += 1
-            self._write_back(key, cone)
-        self._remember(key, cone)
-        return cone
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                # Constraint deduction ran after the disk copy was
+                # written: rewrite so no future process ever deduces
+                # this model again.
+                if key in self._undeduced and entry.has_deduced_constraints():
+                    self._write_back(key, entry)
+                return entry
+            self.misses += 1
+            cone = None
+            if self.disk is not None:
+                cone = self.disk.get(key)
+                if cone is not None and not cone.has_deduced_constraints():
+                    # The disk copy predates deduction; if this process
+                    # (or a later one through us) deduces, persist that
+                    # too.
+                    self._undeduced.add(key)
+            if cone is None:
+                cone = ModelCone.from_mudd(
+                    mudd, counters=counters, max_paths=max_paths
+                )
+                self.builds += 1
+                self._write_back(key, cone)
+            self._remember(key, cone)
+            return cone
 
     def clear(self):
         """Drop the memory tier and reset counters (disk entries stay)."""
-        self._entries.clear()
-        self._undeduced.clear()
-        self.hits = 0
-        self.misses = 0
-        self.builds = 0
+        with self._lock:
+            self._entries.clear()
+            self._undeduced.clear()
+            self.hits = 0
+            self.misses = 0
+            self.builds = 0
 
     def __repr__(self):
         return "ModelConeCache(%d/%d entries, %d hits, %d misses, %d builds%s)" % (

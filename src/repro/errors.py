@@ -66,3 +66,30 @@ class SimulationError(ReproError):
 class ConfigurationError(ReproError):
     """Raised when a simulator or model is configured with inconsistent
     options (e.g. a PML4E cache without a 4-level page table)."""
+
+
+class ServeError(ReproError):
+    """Raised by the :mod:`repro.serve` daemon/client layer (bad
+    requests, unknown jobs, transport failures)."""
+
+
+class QueueFullError(ServeError):
+    """Raised when a bounded serve queue rejects new work (the HTTP
+    layer maps this to ``429`` with a ``Retry-After`` hint).
+
+    ``retry_after`` is the suggested back-off in seconds.
+    """
+
+    def __init__(self, message, retry_after=1.0):
+        self.retry_after = retry_after
+        super().__init__(message)
+
+
+class JobCancelled(ServeError):
+    """Raised inside a cancelled job's execution thread at the next
+    cooperative cancellation point (a scheduler batch boundary).
+
+    Deliberately *not* swallowed by the plan engine's error-collection
+    mode: cancellation must unwind the whole job, leaving unanswered
+    cells unrecorded so a re-submitted plan resumes them.
+    """

@@ -184,10 +184,17 @@ class CounterPoint:
             self._plan_engine = PlanEngine(self)
         return self._plan_engine
 
-    def run(self, plan, scheduler=None):
+    def run(self, plan, scheduler=None, collect_errors=False):
         """Execute a :class:`~repro.plan.Plan` against this pipeline;
-        returns a :class:`~repro.plan.PlanResult` keyed by op id."""
-        return self.plan_engine().run(plan, scheduler=scheduler)
+        returns a :class:`~repro.plan.PlanResult` keyed by op id.
+
+        With ``collect_errors=True`` a failing op is recorded on
+        ``result.errors`` (op id, cell keys, exception repr) instead of
+        aborting the whole plan — the engine's partial-failure
+        contract."""
+        return self.plan_engine().run(
+            plan, scheduler=scheduler, collect_errors=collect_errors
+        )
 
     def _one_op(self, build):
         """Run a single facade call as a one-op plan (the thin-facade

@@ -24,7 +24,7 @@ import functools
 import time
 from collections.abc import Mapping
 
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, JobCancelled
 from repro.obs.trace import OBS_SCHEMA_VERSION, activate, tracer_for
 from repro.plan.compiler import compile_plan
 from repro.plan.schedulers import SerialScheduler, scheduler_for
@@ -100,7 +100,7 @@ class PlanResult(ResultBase, Mapping):
 
     kind = "plan_result"
 
-    def __init__(self, results, stats=None, timing=None):
+    def __init__(self, results, stats=None, timing=None, errors=None):
         if isinstance(results, Mapping):
             entries = list(results.items())
         else:
@@ -110,6 +110,13 @@ class PlanResult(ResultBase, Mapping):
             raise AnalysisError("duplicate op ids in plan result")
         self.stats = dict(stats or {})
         self.timing = None if timing is None else dict(timing)
+        # Structured per-op failures from an error-collecting run
+        # (PlanEngine.run(collect_errors=True)): op id, op kind, the
+        # failed cells' plan-level content keys, and the exception
+        # repr. Empty on the default raise-first path, and omitted from
+        # the payload when empty so pre-existing golden files and
+        # result readers are unaffected.
+        self.errors = [dict(entry) for entry in errors or ()]
         self.datasets = {}
 
     # -- mapping protocol --------------------------------------------------
@@ -124,6 +131,12 @@ class PlanResult(ResultBase, Mapping):
 
     def summary(self):
         lines = ["plan result: %d ops" % len(self._results)]
+        if self.errors:
+            lines.append("  %d op(s) FAILED:" % len(self.errors))
+            for entry in self.errors:
+                lines.append("    %s (%s): %s" % (
+                    entry.get("op"), entry.get("kind"), entry.get("error"),
+                ))
         if self.stats:
             lines.append(
                 "  scheduled %d simulations + %d cells (%d requested, "
@@ -162,6 +175,8 @@ class PlanResult(ResultBase, Mapping):
         }
         if self.timing is not None:
             payload["timing"] = dict(self.timing)
+        if self.errors:
+            payload["errors"] = [dict(entry) for entry in self.errors]
         return payload
 
     @classmethod
@@ -173,6 +188,7 @@ class PlanResult(ResultBase, Mapping):
             ],
             stats=payload["stats"],
             timing=payload.get("timing"),
+            errors=payload.get("errors"),
         )
 
     def __repr__(self):
@@ -266,12 +282,22 @@ class PlanEngine:
         self.pipeline = pipeline
 
     # -- execution ---------------------------------------------------------
-    def run(self, plan, scheduler=None):
+    def run(self, plan, scheduler=None, collect_errors=False):
         """Execute ``plan``; returns a :class:`PlanResult`.
 
         ``scheduler`` overrides the default execution strategy
         (:func:`~repro.plan.schedulers.scheduler_for`: pool when the
         pipeline is parallel, serial otherwise).
+
+        With ``collect_errors`` a failing op no longer aborts the run:
+        the op is skipped, its failure is recorded on
+        :attr:`PlanResult.errors` as a structured entry — op id, op
+        kind, the affected cells' plan-level content keys, and the
+        exception repr — and the remaining ops still execute (the
+        partial-failure contract the serve daemon reports through).
+        The default keeps the facade's historic raise-first behaviour.
+        Cancellation (:class:`repro.errors.JobCancelled`) always
+        propagates, in either mode.
 
         The run executes under the pipeline's tracer (or the active
         one): per-op spans, scheduler/cell spans in the layers below,
@@ -280,9 +306,9 @@ class PlanEngine:
         """
         with activate(tracer_for(self.pipeline)) as tracer:
             with tracer.span("plan.run"):
-                return self._execute(plan, scheduler, tracer)
+                return self._execute(plan, scheduler, tracer, collect_errors)
 
-    def _execute(self, plan, scheduler, tracer):
+    def _execute(self, plan, scheduler, tracer, collect_errors=False):
         started = time.perf_counter()
         compiled = compile_plan(plan, self.pipeline)
         if scheduler is None:
@@ -291,10 +317,17 @@ class PlanEngine:
         before = session.stats.as_dict()
 
         sim_started = time.perf_counter()
-        datasets = {
-            key: scheduler.simulate(self.pipeline, task)
-            for key, task in compiled.sims.items()
-        }
+        datasets = {}
+        sim_errors = {}
+        for key, task in compiled.sims.items():
+            try:
+                datasets[key] = scheduler.simulate(self.pipeline, task)
+            except JobCancelled:
+                raise
+            except Exception as error:
+                if not collect_errors:
+                    raise
+                sim_errors[key] = repr(error)
         simulate_seconds = time.perf_counter() - sim_started
         bundled = {
             slot: observations
@@ -302,6 +335,7 @@ class PlanEngine:
         }
 
         results = []
+        errors = []
         live_datasets = {}
         op_seconds = {}
         # Analyze ops run through session.analyze, which shares the
@@ -313,50 +347,21 @@ class PlanEngine:
         for op_id in compiled.op_order:
             kind, payload = compiled.assembly[op_id]
             op_started = time.perf_counter()
-            with tracer.span("plan.op", op=op_id, kind=kind):
-                if kind == "dataset":
-                    task = compiled.sims[payload]
-                    observations = datasets[payload]
-                    live_datasets[op_id] = observations
-                    results.append((op_id, DatasetSummary(
-                        getattr(task.model, "name", str(task.model)),
-                        [observation.name for observation in observations],
-                        task.n_uops,
-                        task.seed,
-                    )))
-                elif kind == "report":
-                    pre = session.stats.as_dict()
-                    report = session.analyze(
-                        payload.model, payload.observation,
-                        explain=payload.explain,
-                    )
-                    post = session.stats.as_dict()
-                    for counter in report_share:
-                        report_share[counter] += post[counter] - pre[counter]
-                    results.append((op_id, report))
-                elif kind == "sweep":
-                    results.append((op_id, self._run_unit(
-                        payload, datasets, bundled, scheduler, session,
-                    )))
-                elif kind == "compare":
-                    # A list, not a dict: CompareResult's duplicate-name
-                    # guard must see every sweep.
-                    results.append((op_id, CompareResult([
-                        self._run_unit(
-                            unit, datasets, bundled, scheduler, session
-                        )
-                        for unit in payload
-                    ])))
-                elif kind == "matrix":
-                    results.append((op_id, RefutationMatrix({
-                        observed: CompareResult({
-                            candidate: self._run_unit(
-                                unit, datasets, bundled, scheduler, session
-                            )
-                            for candidate, unit in row
-                        })
-                        for observed, row in payload
-                    })))
+            try:
+                self._run_op(
+                    op_id, kind, payload, compiled, datasets, bundled,
+                    scheduler, session, tracer, results, live_datasets,
+                    report_share,
+                )
+            except JobCancelled:
+                raise
+            except Exception as error:
+                if not collect_errors:
+                    raise
+                errors.append(
+                    self._op_error(compiled, op_id, kind, payload,
+                                   error, sim_errors)
+                )
             op_seconds[op_id] = time.perf_counter() - op_started
 
         after = session.stats.as_dict()
@@ -387,9 +392,77 @@ class PlanEngine:
             "sim_backend": getattr(self.pipeline, "sim_backend", "auto"),
             "ops": op_seconds,
         }
-        result = PlanResult(results, stats=stats, timing=timing)
+        result = PlanResult(results, stats=stats, timing=timing,
+                            errors=errors)
         result.datasets = live_datasets
         return result
+
+    def _run_op(self, op_id, kind, payload, compiled, datasets, bundled,
+                scheduler, session, tracer, results, live_datasets,
+                report_share):
+        """Dispatch one assembled op under its ``plan.op`` span."""
+        with tracer.span("plan.op", op=op_id, kind=kind):
+            if kind == "dataset":
+                task = compiled.sims[payload]
+                observations = datasets[payload]
+                live_datasets[op_id] = observations
+                results.append((op_id, DatasetSummary(
+                    getattr(task.model, "name", str(task.model)),
+                    [observation.name for observation in observations],
+                    task.n_uops,
+                    task.seed,
+                )))
+            elif kind == "report":
+                pre = session.stats.as_dict()
+                report = session.analyze(
+                    payload.model, payload.observation,
+                    explain=payload.explain,
+                )
+                post = session.stats.as_dict()
+                for counter in report_share:
+                    report_share[counter] += post[counter] - pre[counter]
+                results.append((op_id, report))
+            elif kind == "sweep":
+                results.append((op_id, self._run_unit(
+                    payload, datasets, bundled, scheduler, session,
+                )))
+            elif kind == "compare":
+                # A list, not a dict: CompareResult's duplicate-name
+                # guard must see every sweep.
+                results.append((op_id, CompareResult([
+                    self._run_unit(
+                        unit, datasets, bundled, scheduler, session
+                    )
+                    for unit in payload
+                ])))
+            elif kind == "matrix":
+                results.append((op_id, RefutationMatrix({
+                    observed: CompareResult({
+                        candidate: self._run_unit(
+                            unit, datasets, bundled, scheduler, session
+                        )
+                        for candidate, unit in row
+                    })
+                    for observed, row in payload
+                })))
+
+    def _op_error(self, compiled, op_id, kind, payload, error, sim_errors):
+        """The structured job-error entry for one failed op: its id and
+        kind, every affected cell's plan-level content key, and the
+        exception repr — with a failed upstream simulation reported as
+        the root cause rather than the downstream ``KeyError``."""
+        cells = []
+        cause = repr(error)
+        for unit in compiled.units:
+            if unit.op_id != op_id:
+                continue
+            cells.extend(unit.cell_keys)
+            source = unit.dataset
+            if source.kind == "sim" and source.sim_key in sim_errors:
+                cause = sim_errors[source.sim_key]
+        if kind == "dataset" and payload in sim_errors:
+            cause = sim_errors[payload]
+        return {"op": op_id, "kind": kind, "cells": cells, "error": cause}
 
     def _run_unit(self, unit, datasets, bundled, scheduler, session):
         """Execute one (model, dataset, mode) sweep unit.

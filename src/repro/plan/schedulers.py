@@ -11,6 +11,12 @@ can never change results, only wall-clock:
   :class:`~repro.parallel.ParallelRunner` process pool, reusing the
   exact entry points the facade's ``workers=N`` path has always used
   (pooled results are bit-for-bit equal to serial ones).
+* :class:`~repro.serve.queue.QueueScheduler` — the serve daemon's
+  strategy: every batch becomes a work item on one shared weighted-
+  fair queue (per-tenant virtual-time clocks, priority classes,
+  bounded-queue backpressure, cooperative cancellation), drained by
+  worker threads running the :class:`SerialScheduler` bodies — so
+  queued results are bit-for-bit equal to serial ones too.
 * the dry-run path (:meth:`repro.plan.engine.PlanEngine.dry_run`) runs
   no scheduler at all — it prices the compiled DAG without simulating
   or solving.

@@ -32,7 +32,7 @@ from repro.results.base import (
 )
 from repro.results.fingerprint import observation_fingerprint
 from repro.results.session import AnalysisSession, SessionStats
-from repro.results.store import ArtifactStore
+from repro.results.store import ArtifactStore, ClaimTable
 from repro.results.types import (
     AnalysisReport,
     CellVerdict,
@@ -46,6 +46,7 @@ __all__ = [
     "AnalysisSession",
     "ArtifactStore",
     "CellVerdict",
+    "ClaimTable",
     "CompareResult",
     "ModelSweep",
     "RESULTS_SCHEMA_VERSION",

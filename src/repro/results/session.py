@@ -194,6 +194,12 @@ class AnalysisSession:
         self.store = store
         self._memo = {}
         self.stats = SessionStats()
+        # Optional in-flight dedup (repro.results.store.ClaimTable):
+        # when set, sweep() claims each pending cell before computing
+        # it, so concurrent jobs sharing this session (or its store)
+        # never compute the same cell twice. None — the default — is
+        # exactly the historic single-owner behaviour.
+        self.claims = None
 
     # -- memo plumbing -----------------------------------------------------
     def _point_key(self, cone, observation, explain):
@@ -228,7 +234,14 @@ class AnalysisSession:
         if self.store is not None:
             payload = self.store.get("verdict", key)
             if payload is not None:
-                verdict = CellVerdict.from_dict(payload)
+                try:
+                    verdict = CellVerdict.from_dict(payload)
+                except Exception:
+                    # A valid envelope around a foreign payload (torn
+                    # by a racing writer, or left by an older schema):
+                    # drop it and recompute — never crash a sweep.
+                    self.store.discard("verdict", key)
+                    return None
                 self._memo[key] = verdict
                 self.stats.store_hits += 1
                 tracer = get_tracer()
@@ -294,20 +307,74 @@ class AnalysisSession:
                     verdicts[index] = verdict
             span.set(cells=len(observations), pending=len(pending))
             if pending:
-                targets = [
-                    self._target(observations[index], use_regions, correlated)
-                    for index, _ in pending
-                ]
                 if compute is None:
                     compute = self._compute
-                computed = compute(cone, targets, use_regions, explain)
-                self.stats.tests += len(pending)
-                if tracer.enabled:
-                    tracer.metrics.counter("session.tests").inc(len(pending))
-                for (index, key), verdict in zip(pending, computed):
-                    self._record(key, verdict)
-                    verdicts[index] = verdict
+                if self.claims is None:
+                    self._compute_pending(
+                        cone, pending, observations, verdicts,
+                        compute, use_regions, correlated, explain, tracer,
+                    )
+                else:
+                    self._compute_claimed(
+                        cone, pending, observations, verdicts,
+                        compute, use_regions, correlated, explain, tracer,
+                    )
             return sweep_from_verdicts(cone.name, names, verdicts)
+
+    def _compute_pending(self, cone, pending, observations, verdicts,
+                         compute, use_regions, correlated, explain, tracer):
+        """Solve one batch of pending ``(index, key)`` cells and record
+        the verdicts (the historic unconditional path)."""
+        targets = [
+            self._target(observations[index], use_regions, correlated)
+            for index, _ in pending
+        ]
+        computed = compute(cone, targets, use_regions, explain)
+        self.stats.tests += len(pending)
+        if tracer.enabled:
+            tracer.metrics.counter("session.tests").inc(len(pending))
+        for (index, key), verdict in zip(pending, computed):
+            self._record(key, verdict)
+            verdicts[index] = verdict
+
+    def _compute_claimed(self, cone, pending, observations, verdicts,
+                         compute, use_regions, correlated, explain, tracer):
+        """The claim-mediated pending path: compute only cells this
+        caller wins, wait for (then re-read) cells another worker owns.
+
+        The protocol is deadlock-free by construction — an owner never
+        waits while holding claims: it computes its claimed subset,
+        records, releases, and only *then* waits on other owners'
+        cells. A waiter whose owner failed (the verdict is still absent
+        after the release) computes the cell itself, so claims can cost
+        wall-clock but never correctness.
+        """
+        claims = self.claims
+        mine, theirs = [], []
+        for entry in pending:
+            (mine if claims.claim(entry[1]) else theirs).append(entry)
+        try:
+            if mine:
+                self._compute_pending(
+                    cone, mine, observations, verdicts,
+                    compute, use_regions, correlated, explain, tracer,
+                )
+        finally:
+            for _, key in mine:
+                claims.release(key)
+        orphaned = []
+        for index, key in theirs:
+            claims.wait(key)
+            verdict = self._lookup(key)
+            if verdict is None:
+                orphaned.append((index, key))
+            else:
+                verdicts[index] = verdict
+        if orphaned:
+            self._compute_pending(
+                cone, orphaned, observations, verdicts,
+                compute, use_regions, correlated, explain, tracer,
+            )
 
     def _target(self, observation, use_regions, correlated):
         """The solvable form of an observation for one mode."""
@@ -390,11 +457,17 @@ class AnalysisSession:
         if cached is None and self.store is not None:
             payload = self.store.get("report", key)
             if payload is not None:
-                cached = AnalysisReport.from_dict(payload)
-                self._memo[key] = cached
-                self.stats.store_hits += 1
-                if tracer.enabled:
-                    tracer.metrics.counter("session.store_hits").inc()
+                try:
+                    cached = AnalysisReport.from_dict(payload)
+                except Exception:
+                    # Corrupt-but-enveloped payload: discard, recompute.
+                    self.store.discard("report", key)
+                    cached = None
+                else:
+                    self._memo[key] = cached
+                    self.stats.store_hits += 1
+                    if tracer.enabled:
+                        tracer.metrics.counter("session.store_hits").inc()
         elif cached is not None:
             self.stats.memo_hits += 1
             if tracer.enabled:

@@ -18,6 +18,7 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 import time
 
 from repro.errors import AnalysisError
@@ -28,10 +29,15 @@ from repro.obs.trace import get_tracer
 ARTIFACT_FORMAT_VERSION = 1
 
 _ENTRY_SUFFIX = ".json"
+_CLAIM_SUFFIX = ".claim"
 
 #: Unpublished temp files older than this are garbage from a process
 #: that died mid-write; prune() sweeps them.
 _STALE_TMP_SECONDS = 600.0
+
+#: Claim markers older than this belong to a worker that died
+#: mid-compute; a new claimant steals them (and prune() sweeps them).
+_STALE_CLAIM_SECONDS = 600.0
 
 
 def content_key(*parts):
@@ -74,6 +80,12 @@ class ArtifactStore:
         # ratchets against it so a backwards wall-clock step cannot
         # reorder this process's own LRU recency.
         self._recency_clock = 0.0
+        # Guards the mutable bookkeeping (_approx_bytes, counters,
+        # _recency_clock) when one store instance is shared between
+        # threads — the serve daemon's queued workers publish
+        # concurrently. File operations themselves are already safe
+        # (atomic os.replace publication, vanished-file-tolerant reads).
+        self._lock = threading.Lock()
         os.makedirs(self.root, exist_ok=True)
 
     # -- key/path plumbing -------------------------------------------------
@@ -118,7 +130,8 @@ class ArtifactStore:
             self._miss(kind)
             return None
         self._touch(path)
-        self.hits += 1
+        with self._lock:
+            self.hits += 1
         tracer = get_tracer()
         if tracer.enabled:
             try:
@@ -131,7 +144,8 @@ class ArtifactStore:
         return envelope["payload"]
 
     def _miss(self, kind):
-        self.misses += 1
+        with self._lock:
+            self.misses += 1
         tracer = get_tracer()
         if tracer.enabled:
             tracer.event("cache.miss", tier="artifact", kind=kind)
@@ -167,15 +181,72 @@ class ArtifactStore:
             ).inc(len(data))
         if self.max_bytes is None:
             return
-        if self._approx_bytes is None:
-            self._approx_bytes = self.total_bytes()
-        else:
-            self._approx_bytes += len(data)
-        if self._approx_bytes > self.max_bytes:
+        with self._lock:
+            if self._approx_bytes is None:
+                self._approx_bytes = self.total_bytes()
+            else:
+                self._approx_bytes += len(data)
+            over_cap = self._approx_bytes > self.max_bytes
+        if over_cap:
             self.prune()
 
     def contains(self, kind, key):
         return os.path.exists(self._path(kind, key))
+
+    def discard(self, kind, key):
+        """Drop the entry for ``(kind, key)`` if present (used by
+        readers that found the payload undecodable)."""
+        self._discard(self._path(kind, key))
+
+    # -- in-flight claims --------------------------------------------------
+    def _claim_path(self, kind, key):
+        return os.path.join(
+            self.root, "%s-%s%s" % (kind, key, _CLAIM_SUFFIX)
+        )
+
+    def claim(self, kind, key, stale_after=_STALE_CLAIM_SECONDS):
+        """Atomically claim ``(kind, key)`` for computation.
+
+        Returns ``True`` when this caller now owns the claim — it must
+        :meth:`release_claim` when the artifact is published (or the
+        computation fails). ``False`` means another live worker holds
+        it; wait and re-read instead of computing. Claims left behind
+        by a worker that died mid-compute go stale after
+        ``stale_after`` seconds and are stolen by the next claimant.
+        """
+        path = self._claim_path(kind, key)
+        for _ in range(2):
+            try:
+                descriptor = os.open(
+                    path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                )
+            except FileExistsError:
+                try:
+                    age = time.time() - os.stat(path).st_mtime
+                except OSError:
+                    continue  # released between open and stat: retry
+                if age < stale_after:
+                    return False
+                self._discard(path)  # stale: steal on the next lap
+                continue
+            except OSError:
+                return False  # unusable directory: act unclaimed-by-us
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                handle.write(str(os.getpid()))
+            return True
+        return False
+
+    def release_claim(self, kind, key):
+        """Drop a claim taken with :meth:`claim` (idempotent)."""
+        self._discard(self._claim_path(kind, key))
+
+    def claimed(self, kind, key):
+        """Whether an unexpired claim marker exists for ``(kind, key)``."""
+        try:
+            age = time.time() - os.stat(self._claim_path(kind, key)).st_mtime
+        except OSError:
+            return False
+        return age < _STALE_CLAIM_SECONDS
 
     def __len__(self):
         return len(self._entries())
@@ -212,11 +283,18 @@ class ArtifactStore:
         except OSError:
             return
         for name in names:
-            if not name.endswith(".tmp"):
+            if name.endswith(".tmp"):
+                horizon = max_age
+            elif name.endswith(_CLAIM_SUFFIX):
+                # Claim markers from dead workers block dedup-waiters
+                # until stolen; sweep them on the same maintenance pass
+                # (clear(), which passes max_age=0, drops them all).
+                horizon = _STALE_CLAIM_SECONDS if max_age > 0 else 0.0
+            else:
                 continue
             path = os.path.join(self.root, name)
             try:
-                if now - os.stat(path).st_mtime >= max_age:
+                if now - os.stat(path).st_mtime >= horizon:
                     self._discard(path)
             except OSError:
                 continue
@@ -268,8 +346,9 @@ class ArtifactStore:
         # os.utime uses the wall clock, which can step backwards and
         # make a just-used entry look LRU-oldest. Ratchet the stamp so
         # every touch/publish orders after the previous one.
-        stamp = max(time.time(), self._recency_clock + 1e-6)
-        self._recency_clock = stamp
+        with self._lock:
+            stamp = max(time.time(), self._recency_clock + 1e-6)
+            self._recency_clock = stamp
         try:
             os.utime(path, (stamp, stamp))
         except OSError:
@@ -292,4 +371,103 @@ class ArtifactStore:
         )
 
 
-__all__ = ["ARTIFACT_FORMAT_VERSION", "ArtifactStore", "content_key"]
+class ClaimTable:
+    """In-flight computation claims: one owner per content key.
+
+    The :class:`ArtifactStore` deduplicates *completed* work; this
+    table deduplicates work *in flight*. Before computing a cell a
+    worker calls :meth:`claim` — ``True`` makes it the owner (compute,
+    record, :meth:`release`), ``False`` means someone else is already
+    computing it (:meth:`wait`, then re-read the memo/store; if the
+    owner failed the verdict is still absent and the waiter computes
+    it itself).
+
+    Claims are process-local :class:`threading.Event`\\ s; with a
+    ``store`` attached, claim *files* extend the protocol across
+    processes (a second daemon on the same cache directory): remote
+    owners are detected via the store's claim markers and waited on by
+    polling for the published artifact.
+    """
+
+    def __init__(self, store=None, kind="verdict", poll_interval=0.05):
+        self.store = store
+        self.kind = kind
+        self.poll_interval = poll_interval
+        self._lock = threading.Lock()
+        self._events = {}
+
+    def claim(self, key):
+        """Try to become the computing owner of ``key``."""
+        with self._lock:
+            if key in self._events:
+                return False
+            event = threading.Event()
+            self._events[key] = event
+        if self.store is not None and not self.store.claim(self.kind, key):
+            # A *remote* process owns the cell. Keep our local event
+            # registered (so threads here coalesce onto one waiter) but
+            # mark it remote: wait() then polls the store.
+            event.remote = True
+            return False
+        return True
+
+    def release(self, key):
+        """Drop ownership of ``key`` and wake every waiter (idempotent).
+
+        Called whether the computation succeeded or failed — waiters
+        re-read the memo/store and fall back to computing themselves
+        when the verdict never arrived.
+        """
+        with self._lock:
+            event = self._events.pop(key, None)
+        if event is not None:
+            event.set()
+        if self.store is not None:
+            self.store.release_claim(self.kind, key)
+
+    def wait(self, key, timeout=600.0):
+        """Block until ``key``'s owner releases it (or ``timeout``).
+
+        Returns ``True`` when the owner finished (locally or, for
+        remote owners, when the artifact appeared or their claim
+        lapsed); ``False`` on timeout. Either way the caller re-reads
+        and computes itself if the verdict is still missing — wait can
+        only cost time, never correctness.
+        """
+        with self._lock:
+            event = self._events.get(key)
+        if event is None:
+            return True
+        if not getattr(event, "remote", False):
+            return event.wait(timeout)
+        deadline = time.time() + timeout
+        store = self.store
+        while time.time() < deadline:
+            if store.contains(self.kind, key) or \
+                    not store.claimed(self.kind, key):
+                with self._lock:
+                    stale = self._events.pop(key, None)
+                if stale is not None:
+                    stale.set()
+                return True
+            time.sleep(self.poll_interval)
+        return False
+
+    def __len__(self):
+        with self._lock:
+            return len(self._events)
+
+    def __repr__(self):
+        return "ClaimTable(%d in flight%s)" % (
+            len(self),
+            ", store=%r" % (self.store.root,) if self.store is not None
+            else "",
+        )
+
+
+__all__ = [
+    "ARTIFACT_FORMAT_VERSION",
+    "ArtifactStore",
+    "ClaimTable",
+    "content_key",
+]

@@ -1,0 +1,38 @@
+"""repro.serve: the multi-tenant analysis daemon.
+
+CounterPoint's answer to "run it as a service": an HTTP daemon
+(:class:`ServeDaemon` over :class:`PlanService`) where clients POST
+plan JSON, watch per-cell progress, cancel, and fetch canonical
+:class:`~repro.plan.engine.PlanResult` bundles — with every tenant's
+cells flowing through one shared content-addressed task space, so
+overlapping plans (within a run, across tenants, or across daemon
+restarts via ``--cache-dir``) compute each cell exactly once.
+Scheduling is the third strategy beside serial and pool:
+:class:`~repro.serve.queue.QueueScheduler`, a weighted-fair queue
+with priority classes, cooperative cancellation, and bounded-queue
+backpressure. :class:`ServeClient` is the stdlib client the
+``repro submit/status/fetch/cancel`` commands wrap.
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.daemon import JOB_STATES, PlanService, ServeDaemon, ServeJob
+from repro.serve.queue import (
+    PRIORITY_WEIGHTS,
+    CancelToken,
+    FairQueue,
+    QueueScheduler,
+    priority_weight,
+)
+
+__all__ = [
+    "JOB_STATES",
+    "PRIORITY_WEIGHTS",
+    "CancelToken",
+    "FairQueue",
+    "PlanService",
+    "QueueScheduler",
+    "ServeClient",
+    "ServeDaemon",
+    "ServeJob",
+    "priority_weight",
+]

@@ -1,0 +1,223 @@
+"""A stdlib HTTP client for the :mod:`repro.serve` daemon.
+
+:class:`ServeClient` speaks the daemon's JSON protocol over
+:mod:`urllib.request` — no third-party dependencies, usable from
+scripts, tests, and the ``repro submit/status/fetch/cancel`` CLI
+commands. The mapping from HTTP to Python mirrors the daemon's:
+
+* 429 → :class:`~repro.errors.QueueFullError` carrying the server's
+  ``Retry-After`` hint (so a polite client can
+  ``time.sleep(error.retry_after)`` and resubmit);
+* any other 4xx/5xx → :class:`~repro.errors.ServeError` with the
+  server's error message;
+* a fetched result parses back into the same
+  :class:`~repro.plan.engine.PlanResult` type a local
+  ``pipeline.run(plan)`` returns (:meth:`ServeClient.result`), or can
+  be kept as canonical text for byte-level comparison
+  (:meth:`ServeClient.result_text`).
+"""
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro.errors import QueueFullError, ServeError
+
+
+class ServeClient:
+    """Submit, watch, fetch, and cancel plans on a serve daemon.
+
+    Parameters
+    ----------
+    url:
+        Daemon base URL, e.g. ``http://127.0.0.1:8651``.
+    tenant:
+        Default tenant identity sent with submissions (overridable per
+        call).
+    timeout:
+        Socket timeout in seconds for each request (event streams use
+        their own, longer deadline).
+    """
+
+    def __init__(self, url, tenant="anon", timeout=30.0):
+        self.url = url.rstrip("/")
+        self.tenant = tenant
+        self.timeout = timeout
+
+    # -- transport ---------------------------------------------------------
+    def _request(self, method, path, body=None, timeout=None):
+        """One round-trip; returns ``(status, headers, bytes)``."""
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.url + path, data=data, headers=headers, method=method,
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout if timeout is None else timeout
+            ) as response:
+                return response.status, response.headers, response.read()
+        except urllib.error.HTTPError as error:
+            return error.code, error.headers, error.read()
+        except urllib.error.URLError as error:
+            raise ServeError(
+                "cannot reach serve daemon at %s: %s"
+                % (self.url, error.reason)
+            ) from None
+
+    def _json(self, method, path, body=None):
+        status, headers, raw = self._request(method, path, body=body)
+        try:
+            document = json.loads(raw.decode("utf-8")) if raw else {}
+        except ValueError:
+            document = {"error": raw.decode("utf-8", "replace")}
+        if status == 429:
+            retry_after = float(
+                document.get("retry_after")
+                or headers.get("Retry-After") or 1.0
+            )
+            raise QueueFullError(
+                document.get("error", "server queue is full"),
+                retry_after=retry_after,
+            )
+        if status >= 400:
+            raise ServeError(
+                "%s %s failed (%d): %s"
+                % (method, path, status, document.get("error", "unknown"))
+            )
+        return document
+
+    # -- protocol ----------------------------------------------------------
+    def submit(self, plan, tenant=None, priority="normal"):
+        """POST a plan; returns the job status dict (with ``"id"``).
+
+        ``plan`` may be a :class:`~repro.plan.Plan`, a plan dict, or
+        plan JSON text. Raises :class:`~repro.errors.QueueFullError`
+        (with ``retry_after``) when the daemon applies backpressure.
+        """
+        if hasattr(plan, "to_dict"):
+            plan = plan.to_dict()
+        elif isinstance(plan, str):
+            plan = json.loads(plan)
+        return self._json("POST", "/v1/plans", body={
+            "plan": plan,
+            "tenant": tenant or self.tenant,
+            "priority": priority,
+        })
+
+    def status(self, job_id):
+        """The job's status document."""
+        return self._json("GET", "/v1/plans/%s" % job_id)
+
+    def jobs(self):
+        """All jobs the daemon knows, most recent first."""
+        return self._json("GET", "/v1/plans")["jobs"]
+
+    def result_text(self, job_id):
+        """The canonical result bundle as JSON *text* — byte-identical
+        for byte-identical work (the dedup acceptance check)."""
+        status, _, raw = self._request(
+            "GET", "/v1/plans/%s/result" % job_id
+        )
+        if status == 409:
+            document = json.loads(raw.decode("utf-8"))
+            raise ServeError(
+                "job %s has no result yet (state %s)"
+                % (job_id, document.get("state", "unknown"))
+            )
+        if status >= 400:
+            raise ServeError(
+                "fetching result of %s failed (%d)" % (job_id, status)
+            )
+        return raw.decode("utf-8")
+
+    def result(self, job_id):
+        """The finished job's :class:`~repro.plan.engine.PlanResult`."""
+        from repro.plan.engine import PlanResult
+
+        return PlanResult.from_json(self.result_text(job_id))
+
+    def cancel(self, job_id):
+        """Request cooperative cancellation; returns the status doc."""
+        return self._json("DELETE", "/v1/plans/%s" % job_id)
+
+    def events(self, job_id, after=0, timeout=60.0):
+        """Iterate the job's NDJSON event stream (dicts, in sequence
+        order) starting at event ``after``; ends when the job does."""
+        request = urllib.request.Request(
+            "%s/v1/plans/%s/events?after=%d&timeout=%d"
+            % (self.url, job_id, after, int(timeout)),
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=timeout + self.timeout
+            ) as response:
+                if response.status >= 400:
+                    raise ServeError(
+                        "event stream for %s failed (%d)"
+                        % (job_id, response.status)
+                    )
+                for line in response:
+                    line = line.strip()
+                    if line:
+                        yield json.loads(line.decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            raise ServeError(
+                "event stream for %s failed (%d)" % (job_id, error.code)
+            ) from None
+        except urllib.error.URLError as error:
+            raise ServeError(
+                "cannot reach serve daemon at %s: %s"
+                % (self.url, error.reason)
+            ) from None
+
+    def wait(self, job_id, timeout=300.0, poll=0.1):
+        """Block until the job reaches a terminal state; returns the
+        final status document (raises :class:`ServeError` on timeout).
+        """
+        deadline = time.time() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["state"] in ("done", "failed", "cancelled"):
+                return status
+            if time.time() > deadline:
+                raise ServeError(
+                    "job %s still %s after %rs"
+                    % (job_id, status["state"], timeout)
+                )
+            time.sleep(poll)
+
+    def run(self, plan, tenant=None, priority="normal", timeout=300.0):
+        """Submit, wait, and fetch in one call — the remote analogue of
+        ``pipeline.run(plan)``. Raises :class:`ServeError` with the
+        structured per-op errors when the job failed."""
+        job_id = self.submit(plan, tenant=tenant, priority=priority)["id"]
+        status = self.wait(job_id, timeout=timeout)
+        if status["state"] != "done":
+            raise ServeError(
+                "job %s ended %s: %s"
+                % (job_id, status["state"],
+                   status.get("errors") or status.get("error", "unknown"))
+            )
+        return self.result(job_id)
+
+    def server_stats(self):
+        """The daemon's /v1/stats document."""
+        return self._json("GET", "/v1/stats")
+
+    def healthy(self):
+        """Whether the daemon answers its liveness probe."""
+        try:
+            return bool(self._json("GET", "/v1/healthz").get("ok"))
+        except ServeError:
+            return False
+
+    def __repr__(self):
+        return "ServeClient(%r, tenant=%r)" % (self.url, self.tenant)
+
+
+__all__ = ["ServeClient"]

@@ -1,0 +1,400 @@
+"""Weighted fair queueing for the serve daemon.
+
+Two pieces:
+
+* :class:`FairQueue` — a bounded, thread-safe priority queue with
+  *virtual-time weighted fair sharing* across tenants. Each tenant
+  accumulates virtual time as its items run (``cost / weight``); pop
+  always serves the tenant with the least virtual time, so a tenant
+  that submitted a thousand cells cannot starve one that submitted
+  ten, and a higher weight (priority class) buys a proportionally
+  larger share — never exclusivity. A newly-active tenant's clock is
+  advanced to the current minimum so idle periods are not hoarded as
+  credit. A full bounded queue rejects with
+  :class:`~repro.errors.QueueFullError` (mapped to HTTP 429 +
+  ``Retry-After`` by the daemon) — backpressure, not unbounded memory.
+
+* :class:`QueueScheduler` — the third scheduler beside
+  :class:`~repro.plan.schedulers.SerialScheduler` and
+  :class:`~repro.plan.schedulers.PoolScheduler`: every simulation task
+  and verdict batch becomes a :class:`WorkItem` on one shared
+  :class:`FairQueue`, executed by a fixed pool of worker *threads*
+  running the exact :class:`SerialScheduler` code paths — so queued
+  results are bit-for-bit equal to serial ones, and swapping the
+  scheduler can (as always) change wall-clock but never results.
+  :meth:`QueueScheduler.for_job` binds a tenant, a priority class, and
+  a :class:`CancelToken`; cancellation is cooperative, honoured at
+  every batch boundary (:class:`~repro.errors.JobCancelled`).
+"""
+
+import threading
+
+from repro.errors import JobCancelled, QueueFullError, ServeError
+from repro.obs.trace import get_tracer
+from repro.plan.schedulers import SerialScheduler
+
+#: Priority classes and their fair-share weights: a high-priority
+#: tenant gets 4x the share of a low-priority one under contention —
+#: proportional service, never starvation.
+PRIORITY_WEIGHTS = {"high": 4.0, "normal": 2.0, "low": 1.0}
+
+
+def priority_weight(priority):
+    """The fair-share weight of a priority class name."""
+    try:
+        return PRIORITY_WEIGHTS[priority]
+    except KeyError:
+        raise ServeError(
+            "unknown priority %r (expected one of %s)"
+            % (priority, "/".join(sorted(PRIORITY_WEIGHTS)))
+        ) from None
+
+
+class CancelToken:
+    """A cooperative cancellation flag shared by one job's batches."""
+
+    def __init__(self, job_id="job"):
+        self.job_id = job_id
+        self._flag = threading.Event()
+
+    def cancel(self):
+        self._flag.set()
+
+    @property
+    def cancelled(self):
+        return self._flag.is_set()
+
+    def check(self):
+        """Raise :class:`~repro.errors.JobCancelled` once cancelled —
+        called at every batch boundary (enqueue and execute)."""
+        if self._flag.is_set():
+            raise JobCancelled("job %s cancelled" % (self.job_id,))
+
+    def __repr__(self):
+        return "CancelToken(%r, cancelled=%r)" % (self.job_id, self.cancelled)
+
+
+class WorkItem:
+    """One queued unit of work: a thunk plus its accounting identity.
+
+    ``cost`` is the fair-share charge (observation runs for a
+    simulation task, cells for a verdict batch); ``wait()`` blocks the
+    submitting thread until a worker ran the thunk, then returns its
+    result or re-raises its exception in the submitter.
+    """
+
+    __slots__ = ("tenant", "weight", "cost", "fn", "token",
+                 "_done", "_result", "_error")
+
+    def __init__(self, fn, tenant="anon", weight=1.0, cost=1.0, token=None):
+        self.fn = fn
+        self.tenant = tenant
+        self.weight = weight
+        self.cost = max(float(cost), 1.0)
+        self.token = token
+        self._done = threading.Event()
+        self._result = None
+        self._error = None
+
+    def execute(self):
+        """Run the thunk (worker side); never raises."""
+        try:
+            if self.token is not None:
+                self.token.check()
+            self._result = self.fn()
+        except BaseException as error:
+            self._error = error
+        finally:
+            self._done.set()
+
+    def wait(self, timeout=None):
+        """Block for completion (submitter side); raise what the
+        worker raised, or :class:`ServeError` on timeout."""
+        if not self._done.wait(timeout):
+            raise ServeError("queued work timed out after %rs" % (timeout,))
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+
+class FairQueue:
+    """A bounded queue with weighted fair sharing across tenants.
+
+    Parameters
+    ----------
+    max_items:
+        Queue capacity; pushes beyond it raise
+        :class:`~repro.errors.QueueFullError`. ``None`` is unbounded.
+    """
+
+    def __init__(self, max_items=None):
+        if max_items is not None and max_items < 1:
+            raise ServeError("max_items must be at least 1, got %r"
+                             % (max_items,))
+        self.max_items = max_items
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._backlogs = {}   # tenant -> list of WorkItem (FIFO)
+        self._vtimes = {}     # tenant -> virtual time (persistent)
+        self._size = 0
+        self._closed = False
+
+    def __len__(self):
+        with self._lock:
+            return self._size
+
+    def push(self, item):
+        """Enqueue ``item``; :class:`~repro.errors.QueueFullError` when
+        the queue is at capacity (the backpressure contract)."""
+        with self._lock:
+            if self._closed:
+                raise ServeError("queue is closed")
+            if self.max_items is not None and self._size >= self.max_items:
+                raise QueueFullError(
+                    "queue full (%d items); retry later" % (self._size,),
+                    retry_after=1.0,
+                )
+            backlog = self._backlogs.get(item.tenant)
+            if backlog is None:
+                backlog = self._backlogs[item.tenant] = []
+                # A tenant going active must not spend an idle period's
+                # worth of banked virtual time: catch its clock up to
+                # the busiest-waiting tenant's floor.
+                floor = min(
+                    (self._vtimes[tenant] for tenant in self._backlogs
+                     if tenant != item.tenant and self._backlogs[tenant]),
+                    default=None,
+                )
+                vtime = self._vtimes.get(item.tenant, 0.0)
+                if floor is not None:
+                    vtime = max(vtime, floor)
+                self._vtimes[item.tenant] = vtime
+            self._vtimes.setdefault(item.tenant, 0.0)
+            backlog.append(item)
+            self._size += 1
+            self._ready.notify()
+
+    def pop(self, timeout=None):
+        """The next item by fair share, or ``None`` on timeout/close.
+
+        Picks the backlogged tenant with the least virtual time (name
+        as the deterministic tie-break), serves its oldest item, and
+        charges ``cost / weight`` to the tenant's clock.
+        """
+        with self._lock:
+            while self._size == 0:
+                if self._closed:
+                    return None
+                if not self._ready.wait(timeout):
+                    return None
+            tenant = min(
+                (name for name, backlog in self._backlogs.items() if backlog),
+                key=lambda name: (self._vtimes[name], name),
+            )
+            backlog = self._backlogs[tenant]
+            item = backlog.pop(0)
+            if not backlog:
+                del self._backlogs[tenant]
+            self._size -= 1
+            self._vtimes[tenant] = (
+                self._vtimes.get(tenant, 0.0) + item.cost / item.weight
+            )
+            return item
+
+    def depth(self):
+        """Items currently queued (the ``serve.queue.depth`` gauge)."""
+        return len(self)
+
+    def close(self):
+        """Stop accepting work and wake blocked poppers. Items still
+        queued are failed (their submitters see the error)."""
+        with self._lock:
+            self._closed = True
+            drained = [
+                item
+                for backlog in self._backlogs.values()
+                for item in backlog
+            ]
+            self._backlogs.clear()
+            self._size = 0
+            self._ready.notify_all()
+        for item in drained:
+            item._error = ServeError("queue closed before execution")
+            item._done.set()
+
+    def __repr__(self):
+        with self._lock:
+            return "FairQueue(%d queued, %d tenants%s)" % (
+                self._size,
+                sum(1 for backlog in self._backlogs.values() if backlog),
+                ", max=%d" % self.max_items if self.max_items is not None
+                else "",
+            )
+
+
+class _BoundQueueScheduler:
+    """A :class:`QueueScheduler` view bound to one job's identity.
+
+    Implements the standard scheduler interface (``simulate`` /
+    ``compute``) by enqueuing the equivalent
+    :class:`~repro.plan.schedulers.SerialScheduler` call as a
+    :class:`WorkItem` and blocking until a worker thread ran it —
+    checking the job's :class:`CancelToken` at both boundaries.
+    """
+
+    def __init__(self, parent, tenant, priority, token, observer=None):
+        self.parent = parent
+        self.tenant = tenant
+        self.priority = priority
+        self.weight = priority_weight(priority)
+        self.token = token
+        self.observer = observer
+
+    def _dispatch(self, fn, cost, label):
+        if self.token is not None:
+            self.token.check()
+        item = WorkItem(
+            fn, tenant=self.tenant, weight=self.weight, cost=cost,
+            token=self.token,
+        )
+        self.parent._submit(item)
+        if self.observer is not None:
+            self.observer("queued", unit=label, cost=int(cost))
+        result = item.wait(self.parent.item_timeout)
+        if self.observer is not None:
+            self.observer("executed", unit=label, cost=int(cost))
+        return result
+
+    def simulate(self, pipeline, task):
+        serial = self.parent.serial
+        return self._dispatch(
+            lambda: serial.simulate(pipeline, task),
+            cost=task.n_observations,
+            label="simulate",
+        )
+
+    def compute(self, session, cone, targets, use_regions, explain):
+        serial = self.parent.serial
+        return self._dispatch(
+            lambda: serial.compute(session, cone, targets, use_regions,
+                                   explain),
+            cost=len(targets),
+            label="compute",
+        )
+
+    def __repr__(self):
+        return "QueueScheduler.for_job(tenant=%r, priority=%r)" % (
+            self.tenant, self.priority,
+        )
+
+
+class QueueScheduler:
+    """Run plan work through a shared fair queue and worker threads.
+
+    The multi-tenant scheduler behind :mod:`repro.serve`: every job's
+    simulation tasks and verdict batches flow through one
+    :class:`FairQueue`, drained by ``workers`` threads that execute the
+    reference :class:`~repro.plan.schedulers.SerialScheduler` bodies —
+    results are bit-for-bit equal to a serial run. Use
+    :meth:`for_job` to obtain the engine-facing scheduler bound to a
+    tenant/priority/cancel-token; the bare instance also satisfies the
+    scheduler interface (as the anonymous normal-priority tenant), so
+    ``engine.run(plan, scheduler=QueueScheduler())`` works directly.
+
+    Parameters
+    ----------
+    workers:
+        Worker-thread count draining the queue.
+    max_items:
+        :class:`FairQueue` capacity (``None`` unbounded); overflow
+        raises :class:`~repro.errors.QueueFullError` to the submitter.
+    item_timeout:
+        Safety-net seconds a submitter waits for one queued item.
+    """
+
+    def __init__(self, workers=2, max_items=None, item_timeout=600.0):
+        if workers < 1:
+            raise ServeError("workers must be at least 1, got %r"
+                             % (workers,))
+        self.serial = SerialScheduler()
+        self.queue = FairQueue(max_items=max_items)
+        self.item_timeout = item_timeout
+        self._closed = False
+        self._threads = [
+            threading.Thread(
+                target=self._worker, name="repro-serve-worker-%d" % index,
+                daemon=True,
+            )
+            for index in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+        self._default = _BoundQueueScheduler(self, "anon", "normal", None)
+
+    # -- scheduler interface (anonymous tenant) ----------------------------
+    def simulate(self, pipeline, task):
+        return self._default.simulate(pipeline, task)
+
+    def compute(self, session, cone, targets, use_regions, explain):
+        return self._default.compute(session, cone, targets, use_regions,
+                                     explain)
+
+    # -- job binding -------------------------------------------------------
+    def for_job(self, tenant="anon", priority="normal", token=None,
+                observer=None):
+        """The engine-facing scheduler for one job: work it submits is
+        charged to ``tenant`` at ``priority``'s weight, honours
+        ``token`` cancellation, and reports batch progress to
+        ``observer(event, **attrs)``."""
+        return _BoundQueueScheduler(self, tenant, priority, token, observer)
+
+    def _submit(self, item):
+        if self._closed:
+            raise ServeError("scheduler is closed")
+        self.queue.push(item)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "serve.enqueue", tenant=item.tenant, cost=item.cost,
+                depth=self.queue.depth(),
+            )
+
+    def _worker(self):
+        while True:
+            item = self.queue.pop(timeout=0.2)
+            if item is None:
+                if self._closed:
+                    return
+                continue
+            item.execute()
+
+    def close(self):
+        """Stop workers and fail queued items (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.queue.close()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        self.close()
+        return False
+
+    def __repr__(self):
+        return "QueueScheduler(%d workers, %r)" % (
+            len(self._threads), self.queue,
+        )
+
+
+__all__ = [
+    "PRIORITY_WEIGHTS",
+    "CancelToken",
+    "FairQueue",
+    "QueueScheduler",
+    "WorkItem",
+    "priority_weight",
+]

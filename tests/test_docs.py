@@ -70,13 +70,14 @@ def test_top_level_help_lists_all_commands():
     for command in (
         "constraints", "analyze", "sweep", "compare", "render",
         "case-study", "simulate", "errata-check", "run", "plan", "show",
-        "trace",
+        "trace", "serve", "submit", "status", "fetch", "cancel",
     ):
         assert command in output
 
 
 @pytest.mark.parametrize(
-    "command", ["analyze", "simulate", "case-study", "sweep", "compare", "run"]
+    "command",
+    ["analyze", "simulate", "case-study", "sweep", "compare", "run", "serve"],
 )
 def test_subcommand_help_documents_runtime_flags(command):
     output = _help_output(command)
@@ -95,7 +96,8 @@ def test_analysis_subcommands_offer_json_output(command):
 @pytest.mark.parametrize(
     "command",
     ["constraints", "analyze", "sweep", "compare", "case-study",
-     "simulate", "run", "plan", "show", "render", "errata-check"],
+     "simulate", "run", "plan", "show", "render", "errata-check",
+     "serve", "submit", "status", "fetch", "cancel"],
 )
 def test_every_subcommand_offers_tracing(command):
     output = _help_output(command)
@@ -114,7 +116,9 @@ def test_analysis_subcommands_offer_session_stats(command):
 
 
 @pytest.mark.parametrize(
-    "command", ["constraints", "render", "errata-check", "plan", "show"]
+    "command",
+    ["constraints", "render", "errata-check", "plan", "show",
+     "serve", "submit", "status", "fetch", "cancel"],
 )
 def test_subcommand_help_has_description_and_example(command):
     output = _help_output(command)

@@ -605,6 +605,112 @@ class TestCommittedExamplePlan:
         assert "pde_refined" in result["ranking"].feasible_models
 
 
+class TestErrorCollection:
+    """PlanEngine.run(collect_errors=True): structured per-op job
+    errors (op id, cells, exception repr) without aborting the run —
+    the partial-failure contract the serve daemon reports through.
+    The default path keeps the historic raise-first behaviour."""
+
+    @staticmethod
+    def _failing_feasibility(monkeypatch, bad_cone_name):
+        real = session_module.test_points_feasibility
+
+        def wrapper(cone, targets, backend="exact", **kwargs):
+            if cone.name == bad_cone_name:
+                raise RuntimeError("LP backend exploded on %s" % cone.name)
+            return real(cone, targets, backend=backend, **kwargs)
+
+        monkeypatch.setattr(
+            session_module, "test_points_feasibility", wrapper
+        )
+
+    @staticmethod
+    def _two_op_plan():
+        plan = Plan()
+        plan.sweep(tiny_cone("boom"), dataset(3), op_id="fails")
+        plan.sweep(tiny_cone("fine"), dataset(3, offset=10), op_id="works")
+        return plan
+
+    def test_default_path_still_raises_first(self, monkeypatch):
+        self._failing_feasibility(monkeypatch, "boom")
+        with CounterPoint(backend="exact") as pipeline:
+            with pytest.raises(RuntimeError, match="exploded"):
+                pipeline.run(self._two_op_plan())
+
+    def test_collect_errors_records_and_continues(self, monkeypatch):
+        self._failing_feasibility(monkeypatch, "boom")
+        with CounterPoint(backend="exact") as pipeline:
+            result = pipeline.run(self._two_op_plan(), collect_errors=True)
+        # The healthy op still executed; the failed one is absent from
+        # the results but present, structured, on .errors.
+        assert set(result) == {"works"}
+        assert not result["works"].feasible
+        (entry,) = result.errors
+        assert entry["op"] == "fails"
+        assert entry["kind"] == "sweep"
+        assert len(entry["cells"]) == 3        # every affected cell key
+        assert all(isinstance(key, str) for key in entry["cells"])
+        assert "exploded" in entry["error"]
+        assert "1 op(s) FAILED" in result.summary()
+
+    def test_errors_round_trip_and_empty_is_omitted(self, monkeypatch):
+        self._failing_feasibility(monkeypatch, "boom")
+        with CounterPoint(backend="exact") as pipeline:
+            failed = pipeline.run(self._two_op_plan(), collect_errors=True)
+            clean = pipeline.run(_clean_plan())
+        loaded = result_from_json(failed.to_json())
+        assert loaded.errors == failed.errors
+        # No errors -> no key: pre-existing goldens and readers are
+        # unaffected.
+        assert "errors" not in clean.to_dict()
+
+    def test_failed_simulation_is_reported_as_root_cause(
+        self, monkeypatch
+    ):
+        import repro.sim as sim_module
+
+        def sim_dies(*args, **kwargs):
+            raise RuntimeError("simulator segfaulted")
+
+        monkeypatch.setattr(sim_module, "simulate_dataset", sim_dies)
+        plan = Plan()
+        data = plan.simulate_dataset("pde_refined", n_observations=2,
+                                     n_uops=2000, seed=0, op_id="data")
+        plan.sweep("pde_initial", dataset=data, explain=True, op_id="sweep")
+        with CounterPoint(backend="scipy") as pipeline:
+            result = pipeline.run(plan, collect_errors=True)
+        assert len(result) == 0
+        errors = {entry["op"]: entry for entry in result.errors}
+        assert set(errors) == {"data", "sweep"}
+        # The downstream sweep's KeyError is replaced by the upstream
+        # simulation failure — the actual root cause.
+        assert "segfaulted" in errors["data"]["error"]
+        assert "segfaulted" in errors["sweep"]["error"]
+
+    def test_cancellation_propagates_even_when_collecting(
+        self, monkeypatch
+    ):
+        from repro.errors import JobCancelled
+
+        def cancelled(*args, **kwargs):
+            raise JobCancelled("cancelled mid-batch")
+
+        monkeypatch.setattr(
+            session_module, "test_points_feasibility", cancelled
+        )
+        plan = Plan()
+        plan.sweep(tiny_cone(), dataset(2), op_id="only")
+        with CounterPoint(backend="exact") as pipeline:
+            with pytest.raises(JobCancelled):
+                pipeline.run(plan, collect_errors=True)
+
+
+def _clean_plan():
+    plan = Plan()
+    plan.sweep(tiny_cone(), dataset(2), op_id="only")
+    return plan
+
+
 # -- golden fixtures ---------------------------------------------------------
 
 def _golden_plan_result():

@@ -345,3 +345,55 @@ class TestSessionSurface:
         with counterpoint:
             counterpoint.runner()
         assert counterpoint._runner is None
+
+
+class TestClaimedSession:
+    """A session with a ClaimTable dedupes concurrent identical work."""
+
+    def test_racing_threads_compute_each_cell_once(self, monkeypatch):
+        import threading
+
+        from repro.results import ClaimTable
+
+        lock = threading.Lock()
+        batches = []
+        real = session_module.test_points_feasibility
+
+        def wrapper(cone, targets, backend="exact", **kwargs):
+            targets = list(targets)
+            with lock:
+                batches.append(len(targets))
+            return real(cone, targets, backend=backend, **kwargs)
+
+        monkeypatch.setattr(session_module, "test_points_feasibility", wrapper)
+
+        session = AnalysisSession(backend="exact")
+        session.claims = ClaimTable(store=session.store)
+        cone = tiny_cone()
+        observations = dataset(24)
+
+        barrier = threading.Barrier(2)
+        results, failures = {}, []
+
+        def sweep(tag):
+            try:
+                barrier.wait(timeout=30)
+                results[tag] = session.sweep(cone, observations)
+            except Exception as error:  # pragma: no cover - diagnostic
+                failures.append(repr(error))
+
+        threads = [
+            threading.Thread(target=sweep, args=(tag,), daemon=True)
+            for tag in ("left", "right")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+
+        assert not failures
+        # Both sweeps saw all 24 cells, but the LP ran each exactly once:
+        # the loser of each claim race waited and reused the winner's
+        # verdict instead of recomputing it.
+        assert sum(batches) == 24
+        assert results["left"].to_dict() == results["right"].to_dict()
